@@ -1,0 +1,17 @@
+"""E1 — the ≤5-minute OS switch claim, v1 and v2, both directions."""
+
+from repro.experiments.e1_switch_latency import run
+
+
+def test_bench_e1_switch_latency(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["claim_under_5min"], f"max switch {h['max_switch_minutes']:.2f}min"
+    # shape: switching INTO Windows is slower than into Linux, and v2 pays
+    # a little PXE overhead on top of v1
+    assert h["v1_to_windows_median_min"] > h["v1_to_linux_median_min"]
+    assert h["v2_to_windows_median_min"] >= h["v1_to_windows_median_min"]
+    # everything lands in the paper's "about 5 mins" band
+    assert 2.0 <= h["v1_to_linux_median_min"] <= 5.0
+    assert 3.0 <= h["v2_to_windows_median_min"] <= 5.0

@@ -1,0 +1,21 @@
+"""E2 — utilisation sweep: hybrid vs static splits vs mono-stable."""
+
+from repro.experiments.e2_utilization import run
+
+
+def test_bench_e2_utilization(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["hybrid_at_least_matches_every_static_split"]
+    assert h["eager_hybrid_beats_every_static_split"]
+    means = h["mean_useful_util"]
+    # static splits collapse at the mix extreme that starves them
+    per = h["per_fraction"]
+    extremes = [k for k in per if k in (0.0, 1.0)]
+    for fraction in extremes:
+        static_vals = [
+            v for label, v in per[fraction].items()
+            if label.startswith("static-split")
+        ]
+        assert per[fraction]["hybrid-v2"] >= min(static_vals)

@@ -1,0 +1,17 @@
+"""E3 — bi-stable vs mono-stable on recurring Windows campaigns."""
+
+from repro.experiments.e3_bistable import run
+
+
+def test_bench_e3_bistable(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["bistable_warms_up"]
+    assert h["eager_bistable_beats_monostable_when_warm"]
+    assert h["monostable_wastes_more_core_hours"]
+    # mono-stable wastes real capacity on per-booking double reboots
+    assert h["mono-stable [5]"]["wasted_core_hours"] > 5.0
+    # the bi-stable designs waste (almost) nothing: switch reboots are not
+    # charged to job occupancy
+    assert h["bi-stable (paper FCFS)"]["wasted_core_hours"] < 1.0

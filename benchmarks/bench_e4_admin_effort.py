@@ -1,0 +1,17 @@
+"""E4 — administration effort across a maintenance lifecycle, v1 vs v2."""
+
+from repro.experiments.e4_admin_effort import run
+
+
+def test_bench_e4_admin_effort(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["v2_total_less_than_v1"]
+    assert h["v1_has_collateral_reinstalls"]
+    assert h["v2_has_zero_collateral"]
+    # v1's initial deployment alone needs the five §III hand edits
+    assert h["v1"]["deploy"] == 5
+    assert h["v2"]["deploy"] == 2
+    # the gap grows with every maintenance round
+    assert h["v1"]["total"] >= 3 * h["v2"]["total"]

@@ -1,0 +1,16 @@
+"""E5 — control-loop reaction time vs the communicator cycle."""
+
+from repro.experiments.e5_control_cycle import run
+
+
+def test_bench_e5_control_cycle(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["wait_grows_with_cycle"]
+    assert h["boot_component_cycle_independent"]
+    # at the paper's 10-minute default, detection dominates the reboot
+    ten = h["cycle_10m"]
+    assert ten["detect_min"] > ten["boot_min"] * 0.9
+    # a mid-cycle arrival is detected after ~half a cycle
+    assert abs(ten["detect_min"] - 5.0) < 1.0

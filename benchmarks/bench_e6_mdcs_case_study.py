@@ -1,0 +1,17 @@
+"""E6 — the MDCS genetic-algorithm case study (§IV.B)."""
+
+from repro.experiments.e6_mdcs import run
+
+
+def test_bench_e6_mdcs(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["seamless"]
+    assert h["ga_completed"] == h["ga_total"] == 12
+    assert h["background_completed"] == h["background_total"]
+    assert h["switches"] >= 2  # nodes moved out AND back
+    assert h["windows_peak_nodes"] >= 2
+    # only the first generation pays the switch; later ones start warm
+    assert h["steady_state_wait_min"] < h["first_generation_wait_min"]
+    assert h["steady_state_wait_min"] < 2.0

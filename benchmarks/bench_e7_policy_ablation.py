@@ -1,0 +1,15 @@
+"""E7 — switch-policy ablation (§V future work)."""
+
+from repro.experiments.e7_policy import run
+
+
+def test_bench_e7_policy_ablation(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["eager_cuts_windows_wait_vs_fcfs"]
+    assert h["threshold_switches_at_most_fcfs"]
+    # eager reacts to backlog -> strictly more switches than stuck-only
+    assert h["eager"]["switches"] > h["fcfs (paper)"]["switches"]
+    # and better useful utilisation on the oscillating load
+    assert h["eager"]["useful_util"] >= h["fcfs (paper)"]["useful_util"]

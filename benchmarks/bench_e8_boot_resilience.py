@@ -1,0 +1,14 @@
+"""E8 — boot-path resilience fault matrix (ablation extension)."""
+
+from repro.experiments.e8_resilience import run
+
+
+def test_bench_e8_boot_resilience(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["nothing_ever_bricks"]
+    assert h["v2_reaches_linux_despite_mbr_rewrite"]
+    assert h["v1_loses_linux_after_mbr_rewrite"]
+    assert h["v2_degrades_to_disk_without_pxe"]
+    assert h["v1_immune_to_network_faults"]

@@ -1,0 +1,15 @@
+"""F2–F4 — GRUB control files + the Figure-4 switch job, end to end."""
+
+from repro.experiments.figures_grub import run
+
+
+def test_bench_figures_grub(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["boot_before"] == "linux"
+    assert h["script_ok"]
+    assert h["flag_after"] == "windows"
+    assert h["os_after_reboot"] == "windows"
+    assert h["redirect_uses_configfile"]
+    assert h["fig3_titles_present"]

@@ -1,0 +1,15 @@
+"""F9/F10/F14/F15 — diskpart scripts and the v2 ide.disk, on real state."""
+
+from repro.experiments.figures_disks import run
+
+
+def test_bench_figures_disks(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert not h["fig9_linux_survives"]
+    assert not h["fig10_linux_survives"]
+    assert h["fig15_linux_survives"]
+    assert h["skip_partition_unformatted"]
+    assert h["skip_partition_size_mb"] == 16000.0
+    assert h["v2_root_partition"] == 6

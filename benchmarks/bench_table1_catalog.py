@@ -1,0 +1,14 @@
+"""T1 — regenerate Table I and the per-cluster-type coverage numbers."""
+
+from repro.experiments.table1 import run
+
+
+def test_bench_table1(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["total_apps"] == 15
+    assert h["hybrid_runs"] == 15
+    # single-OS clusters strand part of the catalog (the paper's point)
+    assert h["linux_only_cluster_runs"] == 13
+    assert h["windows_only_cluster_runs"] == 5

@@ -1,0 +1,41 @@
+"""Benchmark-harness plumbing.
+
+Every bench runs its experiment exactly once under pytest-benchmark
+(``pedantic(rounds=1)``: the timing of interest is the one full
+reproduction run, not a micro-benchmark average) and *publishes* the
+rendered tables — to the terminal (so ``bench_output.txt`` carries the
+reproduced rows) and to ``benchmarks/reports/<id>.txt``.
+"""
+
+import pathlib
+
+import pytest
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture()
+def publish(capsys):
+    """Print an ExperimentOutput past pytest's capture and archive it."""
+
+    def _publish(output) -> None:
+        text = output.render()
+        REPORTS_DIR.mkdir(exist_ok=True)
+        safe_id = output.experiment_id.lower().replace("/", "_").replace("-", "_")
+        (REPORTS_DIR / f"{safe_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+            print()
+
+    return _publish
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(fn, **kwargs):
+        return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The Eridani replica under a day of campus load.
+
+Reproduces the paper's production setting: the 16-node, 64-core cluster
+(§III.A) inside the Queensgate campus grid, serving a working day of
+mixed Table-I application load (mostly Linux scientific codes with a
+Windows rendering/engineering share).  Prints an hourly OS-occupancy
+timeline and the day's outcome, then the same day on a statically split
+cluster for contrast.
+
+Run with::
+
+    python examples/eridani_campus_grid.py
+"""
+
+from repro.compare import HybridSystem, StaticSplitSystem, run_scenario
+from repro.core.config import MiddlewareConfig
+from repro.metrics.report import Table
+from repro.metrics.utilization import utilization_timeline
+from repro.simkernel import HOUR, MINUTE
+from repro.workloads import make_scenario
+
+
+def describe(result, system) -> None:
+    print(f"  completed {result.completed}/{result.submitted} jobs, "
+          f"rejected {result.rejected}")
+    print(f"  useful utilisation: {result.useful_utilization:.1%}")
+    print(f"  mean wait: Linux {result.wait_linux.mean / 60:.1f} min, "
+          f"Windows {result.wait_windows.mean / 60:.1f} min")
+    print(f"  OS switches: {result.switches}")
+
+
+def main() -> None:
+    jobs = make_scenario("campus_day", seed=2012)
+    linux_jobs = sum(1 for j in jobs if j.os_name == "linux")
+    print(f"campus day: {len(jobs)} jobs "
+          f"({linux_jobs} Linux, {len(jobs) - linux_jobs} Windows), "
+          "drawn from the Table-I catalog\n")
+
+    print("=== Eridani with dualboot-oscar v2 ===")
+    hybrid = HybridSystem(
+        num_nodes=16, seed=2012, version=2,
+        config=MiddlewareConfig(version=2, check_cycle_s=10 * MINUTE),
+    )
+    result = run_scenario(hybrid, jobs, horizon_s=10 * HOUR)
+    describe(result, hybrid)
+
+    # hourly busy-core timeline
+    records = hybrid.recorder.workload_jobs()
+    timeline = utilization_timeline(records, result.horizon_s, bin_s=HOUR)
+    table = Table(["hour", "busy cores (of 64)", "nodes in Windows"],
+                  title="\nHourly load")
+    for hour, busy in enumerate(timeline):
+        t = hour * HOUR
+        windows = sum(
+            1 for iv in hybrid.recorder.intervals
+            if iv.os_name == "windows" and iv.start <= t
+            and (iv.end is None or iv.end > t)
+        )
+        table.add_row([hour, round(float(busy), 1), windows])
+    print(table.render())
+
+    print("\n=== the same day on a 12L/4W static split ===")
+    split = StaticSplitSystem(num_nodes=16, windows_nodes=4, seed=2012)
+    split_result = run_scenario(split, jobs, horizon_s=10 * HOUR)
+    describe(split_result, split)
+
+    print("\nhybrid vs split useful utilisation: "
+          f"{result.useful_utilization:.1%} vs "
+          f"{split_result.useful_utilization:.1%}")
+    print("(a split whose ratio happens to match the day's mix can win a "
+          "single day; the hybrid's advantage is robustness across mixes — "
+          "run benchmarks/bench_e2_utilization.py for the sweep, or rerun "
+          "this day with a 50% Windows share)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The §IV.B case study: MATLAB MDCS genetic-algorithm optimisation.
+
+"Our system was tested on an application requiring optimisation of
+Genetic Algorithms using the Distributed and Parallel MATLAB."  A GA
+master iterates generations; each generation fans its fitness
+evaluations out over MDCS workers — Windows HPC jobs on nodes that
+dualboot-oscar switches over from the Linux side, and releases back when
+the optimisation ends.
+
+Run with::
+
+    python examples/mdcs_genetic_algorithm.py
+"""
+
+from repro.compare import HybridSystem, run_scenario
+from repro.core.config import MiddlewareConfig
+from repro.core.policy import EagerPolicy
+from repro.simkernel import HOUR, MINUTE, format_duration
+from repro.workloads import make_scenario
+
+
+def main() -> None:
+    jobs = make_scenario("ga_case_study", seed=7)
+    ga = [j for j in jobs if j.tag == "mdcs-ga"]
+    print(f"GA optimisation: {len(ga)} generations x {ga[0].cores} MDCS "
+          "workers, over a Linux MD background "
+          f"({len(jobs) - len(ga)} background jobs)\n")
+
+    system = HybridSystem(
+        num_nodes=16, seed=7, version=2,
+        config=MiddlewareConfig(
+            version=2, check_cycle_s=10 * MINUTE, eager_detectors=True
+        ),
+        policy=EagerPolicy(),
+    )
+    result = run_scenario(system, jobs, horizon_s=8 * HOUR)
+
+    records = {r.name: r for r in system.recorder.workload_jobs()}
+    print("generation timeline:")
+    for job in ga:
+        record = records[job.name]
+        wait = record.wait_s or 0.0
+        print(f"  {job.name}: arrived t={format_duration(job.arrival_s)}, "
+              f"waited {format_duration(wait)}, "
+              f"ran {format_duration(record.run_s or 0.0)}")
+
+    background = [records[j.name] for j in jobs if j.tag == "background"]
+    done = sum(1 for r in background if r.completed)
+    print(f"\nLinux background: {done}/{len(background)} completed "
+          f"(mean wait {sum((r.wait_s or 0.0) for r in background) / max(1, len(background)) / 60:.1f} min)")
+    print(f"OS switches over the run: {result.switches}")
+    print("\nthe first generation pays the switch-over (minutes); the rest "
+          "start on warm Windows workers — '"
+          "as load shifted between the two OS environment, the system "
+          "seamlessly adjusted' (§IV.B)")
+
+
+if __name__ == "__main__":
+    main()

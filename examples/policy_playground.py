@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Policy playground: try switch policies against a chosen scenario.
+
+The paper leaves the decision rule as future work (§V); this example
+runs any of the built-in policies against any named workload scenario::
+
+    python examples/policy_playground.py                   # defaults
+    python examples/policy_playground.py oscillating eager
+    python examples/policy_playground.py campus_day threshold
+"""
+
+import sys
+
+from repro.compare import HybridSystem, run_scenario
+from repro.core.config import MiddlewareConfig
+from repro.core.policy import (
+    EagerPolicy,
+    FcfsPolicy,
+    ReservePolicy,
+    ThresholdPolicy,
+)
+from repro.metrics.report import Table
+from repro.simkernel import HOUR, MINUTE
+from repro.workloads import SCENARIOS, make_scenario
+
+POLICIES = {
+    "fcfs": lambda: (FcfsPolicy(), False),
+    "threshold": lambda: (ThresholdPolicy(threshold=2), False),
+    "eager": lambda: (EagerPolicy(), True),
+    "reserve": lambda: (ReservePolicy(min_linux=2, min_windows=2), False),
+}
+
+
+def main() -> None:
+    scenario_name = sys.argv[1] if len(sys.argv) > 1 else "windows_burst"
+    policy_names = sys.argv[2:] or list(POLICIES)
+    if scenario_name not in SCENARIOS:
+        raise SystemExit(f"unknown scenario {scenario_name!r}; "
+                         f"pick one of {sorted(SCENARIOS)}")
+
+    jobs = make_scenario(scenario_name, seed=11)
+    print(f"scenario {scenario_name!r}: {len(jobs)} jobs "
+          f"({sum(1 for j in jobs if j.os_name == 'windows')} Windows)\n")
+
+    table = Table(
+        ["policy", "useful util", "wait L (min)", "wait W (min)",
+         "switches", "completed"],
+        title=f"16 nodes, 10-minute communicator cycle, scenario "
+        f"{scenario_name!r}",
+    )
+    for name in policy_names:
+        if name not in POLICIES:
+            raise SystemExit(f"unknown policy {name!r}; "
+                             f"pick from {sorted(POLICIES)}")
+        policy, eager = POLICIES[name]()
+        system = HybridSystem(
+            num_nodes=16, seed=11, version=2,
+            config=MiddlewareConfig(
+                version=2, check_cycle_s=10 * MINUTE,
+                eager_detectors=eager,
+            ),
+            policy=policy,
+            label_suffix=f"-{name}",
+        )
+        result = run_scenario(system, jobs, horizon_s=12 * HOUR)
+        table.add_row([
+            name,
+            result.useful_utilization,
+            result.wait_linux.mean / 60.0,
+            result.wait_windows.mean / 60.0,
+            result.switches,
+            f"{result.completed}/{result.submitted}",
+        ])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: build a 4-node hybrid cluster, watch it switch an OS.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds the simulated cluster, deploys dualboot-oscar v2 (PXE/GRUB4DOS
+flag control), submits a Linux job and a Windows job, and narrates what
+the middleware does: the Windows job finds no Windows nodes, the queue
+goes "stuck", the daemons switch a node, the job runs.
+"""
+
+from repro import build_hybrid_cluster
+from repro.core.config import MiddlewareConfig
+from repro.simkernel import HOUR, MINUTE, format_duration
+
+
+def main() -> None:
+    config = MiddlewareConfig(version=2, check_cycle_s=5 * MINUTE)
+    hybrid = build_hybrid_cluster(num_nodes=4, seed=42, config=config)
+
+    print("deploying dualboot-oscar v2 on 4 nodes...")
+    hybrid.deploy()
+    hybrid.wait_for_nodes()
+    print(f"t={format_duration(hybrid.sim.now)}  nodes up: "
+          f"{hybrid.nodes_by_os()}")
+
+    print("\nsubmitting a Linux MD job (DL_POLY-style, 1 node x 4 cores)...")
+    linux_id = hybrid.submit_linux_job("dlpoly-demo", nodes=1, ppn=4,
+                                       runtime_s=30 * MINUTE)
+
+    print("submitting a Windows render job (Backburner-style, 4 cores)...")
+    win_job = hybrid.submit_windows_job("backburner-demo", cores=4,
+                                        runtime_s=20 * MINUTE)
+
+    print("\nrunning the simulation for 2 hours...")
+    hybrid.sim.run(until=hybrid.sim.now + 2 * HOUR)
+
+    linux_job = hybrid.pbs.jobs[linux_id]
+    print(f"\nLinux job:   state={linux_job.state.value} "
+          f"wait={format_duration(linux_job.wait_time_s)}")
+    print(f"Windows job: state={win_job.state.value} "
+          f"wait={format_duration(win_job.wait_time_s)}")
+    print(f"nodes now:   {hybrid.nodes_by_os()}")
+
+    print("\ncontrol-loop decisions:")
+    for record in hybrid.daemons.linux.decisions:
+        if record.decision.is_switch:
+            print(f"  t={format_duration(record.time)}  switch "
+                  f"{record.decision.num_nodes} node(s) to "
+                  f"{record.decision.target_os}: {record.decision.reason}")
+
+    switched = [n for n in hybrid.cluster.compute_nodes
+                if len(n.boot_records) > 1]
+    for node in switched:
+        record = node.boot_records[-1]
+        print(f"\n{node.name} rebooted into {record.os_name} in "
+              f"{format_duration(record.duration_s)} via {record.via}")
+    print("\ndone — the paper's §III claim: a switch takes under 5 minutes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Metadata lives in ``pyproject.toml``.  This file exists only so that
+``pip install -e .`` works on environments whose setuptools predates
+bundled ``bdist_wheel`` (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

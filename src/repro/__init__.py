@@ -1,0 +1,50 @@
+"""repro — reproduction of *Hybrid Computer Cluster with High Flexibility*.
+
+This package reimplements **dualboot-oscar** (Liang, Holmes, Kureshi; IEEE
+Cluster 2012) — middleware that turns a legacy dual-boot Beowulf cluster into
+a *bi-stable hybrid* Linux/Windows HPC cluster — together with every
+substrate it needs, on a deterministic discrete-event simulation:
+
+* :mod:`repro.simkernel` — the DES kernel (events, processes, RNG streams);
+* :mod:`repro.storage`, :mod:`repro.boot`, :mod:`repro.netsvc`,
+  :mod:`repro.oslayer`, :mod:`repro.hardware` — the simulated machines:
+  disks/MBR/partitions, GRUB/GRUB4DOS/PXE boot chains, DHCP/TFTP/TCP,
+  operating-system instances, nodes and clusters;
+* :mod:`repro.pbs`, :mod:`repro.winhpc` — the two batch systems
+  (TORQUE/PBS-like and Windows HPC Server 2008 R2-like);
+* :mod:`repro.oscar`, :mod:`repro.windeploy` — the deployment tooling the
+  paper patches (OSCAR image build / systemimager, Windows InstallShare
+  ``diskpart.txt`` deployment);
+* :mod:`repro.core` — **the paper's contribution**: queue-state detectors and
+  the Figure-5 wire format, head-node communicators, switch policies,
+  OS-switch batch jobs, the v1 (FAT/GRUB) and v2 (PXE flag) boot controllers,
+  and the :class:`~repro.core.middleware.DualBootOscar` facade;
+* :mod:`repro.apps`, :mod:`repro.workloads`, :mod:`repro.metrics`,
+  :mod:`repro.compare` — Table-I application catalog, synthetic workloads,
+  measurement, and the baseline systems (static split, mono-stable hybrid,
+  virtualised) used by the experiments in ``EXPERIMENTS.md``.
+
+Quickstart
+----------
+>>> from repro import build_hybrid_cluster
+>>> hybrid = build_hybrid_cluster(num_nodes=4, seed=7)
+>>> hybrid.deploy()
+>>> hybrid.sim.run(until=3600)
+>>> len(hybrid.cluster.compute_nodes)
+4
+"""
+
+from typing import Any
+
+from repro._version import __version__
+
+__all__ = ["DualBootOscar", "__version__", "build_hybrid_cluster"]
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy re-exports keep `import repro.simkernel` cheap and cycle-free.
+    if name in ("DualBootOscar", "build_hybrid_cluster"):
+        from repro.core import middleware
+
+        return getattr(middleware, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,91 @@
+"""Application model: platforms + a synthetic job profile.
+
+The paper gives no per-application runtimes (its evaluation is a
+deployment report), so each catalog entry carries a *plausible* job
+profile — core counts typical of the package's parallelism and a
+lognormal runtime (heavy right tail, as in real batch traces).  The
+experiments depend only on the OS mix and load level, not on these
+specific shapes; the profiles make the workloads concrete and varied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.simkernel.rng import RngStreams
+
+LINUX = "linux"
+WINDOWS = "windows"
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """How this application's jobs look."""
+
+    core_options: Tuple[int, ...] = (1, 2, 4)
+    mean_runtime_s: float = 1800.0
+    runtime_sigma: float = 0.8
+
+
+@dataclass(frozen=True)
+class Application:
+    """One catalog row."""
+
+    name: str
+    description: str
+    platforms: FrozenSet[str]
+    profile: JobProfile = field(default_factory=JobProfile)
+
+    def __post_init__(self) -> None:
+        if not self.platforms or not self.platforms <= {LINUX, WINDOWS}:
+            raise ConfigurationError(
+                f"{self.name}: platforms must be a subset of "
+                f"{{linux, windows}}, got {set(self.platforms)}"
+            )
+
+    @property
+    def platform_code(self) -> str:
+        """Table-I notation: ``W``, ``L`` or ``W&L``."""
+        if self.platforms == {LINUX, WINDOWS}:
+            return "W&L"
+        return "W" if WINDOWS in self.platforms else "L"
+
+    def runs_on(self, platform: str) -> bool:
+        return platform in self.platforms
+
+
+@dataclass(frozen=True)
+class AppJobRequest:
+    """A concrete job derived from an application profile."""
+
+    app_name: str
+    os_name: str
+    cores: int
+    runtime_s: float
+
+
+def make_job_request(
+    app: Application,
+    rng: RngStreams,
+    platform_preference: Optional[str] = None,
+) -> AppJobRequest:
+    """Draw one job from *app*'s profile.
+
+    For multi-platform packages the platform is taken from
+    *platform_preference* when that is supported, else drawn uniformly.
+    """
+    if platform_preference is not None and app.runs_on(platform_preference):
+        os_name = platform_preference
+    else:
+        os_name = rng.choice(f"app:{app.name}:os", sorted(app.platforms))
+    cores = rng.choice(f"app:{app.name}:cores", list(app.profile.core_options))
+    runtime = rng.lognormal(
+        f"app:{app.name}:runtime",
+        app.profile.mean_runtime_s,
+        app.profile.runtime_sigma,
+    )
+    return AppJobRequest(
+        app_name=app.name, os_name=os_name, cores=cores, runtime_s=runtime
+    )

@@ -1,0 +1,36 @@
+"""Boot-chain simulation: firmware → loader → operating system.
+
+This package models the exact mechanisms §III–IV of the paper manipulate:
+
+* :mod:`~repro.boot.grubcfg` — the ``menu.lst`` dialect of Figures 2–3
+  (``default``, ``title``, ``root``/``rootnoverify``, ``kernel``,
+  ``initrd``, ``chainloader +1``, and the v1 keystone ``configfile``);
+* :mod:`~repro.boot.grub` — executing a config against a disk, producing a
+  boot target or a :class:`~repro.errors.BootError`;
+* :mod:`~repro.boot.grub4dos` — the v2 PXE ROM that reads per-MAC menu
+  files from ``/tftpboot/menu.lst/`` on the head node;
+* :mod:`~repro.boot.pxelinux` — OSCAR's deployment loader (and its
+  limitation: it can only quit to the normal boot order, §IV.A.1);
+* :mod:`~repro.boot.firmware` — BIOS boot order (the v2 trick: PXE first,
+  so local MBR damage is irrelevant);
+* :mod:`~repro.boot.chain` — the resolver that walks the whole chain and
+  says which OS actually comes up.
+"""
+
+from repro.boot.chain import BootEnvironment, BootOutcome, resolve_boot
+from repro.boot.firmware import Firmware
+from repro.boot.grub import BootTarget, GrubExecutor
+from repro.boot.grubcfg import GrubConfig, GrubEntry, parse_grub_config, render_grub_config
+
+__all__ = [
+    "BootEnvironment",
+    "BootOutcome",
+    "BootTarget",
+    "Firmware",
+    "GrubConfig",
+    "GrubEntry",
+    "GrubExecutor",
+    "parse_grub_config",
+    "render_grub_config",
+    "resolve_boot",
+]

@@ -1,0 +1,40 @@
+"""Node firmware (BIOS): the boot-device order.
+
+The single configuration choice that separates v1 from v2 lives here:
+v1 nodes boot ``disk`` first (GRUB in the MBR), v2 nodes boot ``pxe``
+first so that "the MBR information in each computer node does not have to
+be fixed after either systems reimaging" (§IV.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+VALID_DEVICES = ("pxe", "disk")
+
+
+@dataclass
+class Firmware:
+    """BIOS settings for one node."""
+
+    boot_order: Tuple[str, ...] = ("disk",)
+
+    def __post_init__(self) -> None:
+        if not self.boot_order:
+            raise ConfigurationError("boot order must name at least one device")
+        for dev in self.boot_order:
+            if dev not in VALID_DEVICES:
+                raise ConfigurationError(f"unknown boot device {dev!r}")
+
+    @classmethod
+    def disk_first(cls) -> "Firmware":
+        """The v1 configuration (and the factory default)."""
+        return cls(boot_order=("disk",))
+
+    @classmethod
+    def pxe_first(cls) -> "Firmware":
+        """The v2 configuration: network boot, fall back to local disk."""
+        return cls(boot_order=("pxe", "disk"))

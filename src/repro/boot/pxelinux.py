@@ -1,0 +1,138 @@
+"""PXELINUX — OSCAR's network deployment loader.
+
+OSCAR uses PXELINUX to boot nodes into the systemimager install kernel.
+The paper's key observation (§IV.A.1): PXELINUX "has less ability in
+controlling local partitions booting.  It only can quit PXE and lead to
+normal boot order" — i.e. it offers ``LOCALBOOT`` but cannot select *which*
+local partition/OS to start.  That limitation is what forces the
+PXELINUX→GRUB4DOS chainload design.
+
+Config lookup (relative to the TFTP root): ``pxelinux.cfg/01-<mac>``,
+then ``pxelinux.cfg/default``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import BootError, NetworkError
+from repro.netsvc.dhcp import normalize_mac
+from repro.netsvc.tftp import TftpServer
+
+#: Content marker for the PXELINUX ROM file in the TFTP tree.
+PXELINUX_ROM = "ROM:pxelinux"
+
+CONFIG_DIR = "/pxelinux.cfg"
+
+
+@dataclass
+class PxelinuxLabel:
+    """One ``LABEL`` stanza."""
+
+    name: str
+    kernel: Optional[str] = None
+    append: str = ""
+    localboot: bool = False
+
+
+@dataclass
+class PxelinuxAction:
+    """What PXELINUX decided to do.
+
+    ``kind`` is ``"kernel"`` (boot a network kernel, e.g. the systemimager
+    installer) or ``"localboot"`` (quit PXE, continue the BIOS boot order).
+    """
+
+    kind: str
+    kernel: Optional[str] = None
+    append: str = ""
+    label: str = ""
+
+
+def parse_pxelinux_config(text: str) -> Dict[str, PxelinuxLabel]:
+    """Parse a PXELINUX config into labels plus the ``DEFAULT`` choice.
+
+    Returns a dict of labels; the special key ``""`` maps to the default
+    label (a :class:`PxelinuxLabel` whose ``name`` is the chosen label).
+    """
+    labels: Dict[str, PxelinuxLabel] = {}
+    default_name: Optional[str] = None
+    current: Optional[PxelinuxLabel] = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        verb, _, rest = line.partition(" ")
+        verb = verb.upper()
+        rest = rest.strip()
+        if verb == "DEFAULT":
+            default_name = rest
+        elif verb == "LABEL":
+            current = PxelinuxLabel(name=rest)
+            labels[rest] = current
+        elif verb == "KERNEL":
+            if current is None:
+                raise BootError("PXELINUX: KERNEL outside a LABEL")
+            current.kernel = rest
+        elif verb == "APPEND":
+            if current is None:
+                raise BootError("PXELINUX: APPEND outside a LABEL")
+            current.append = rest
+        elif verb == "LOCALBOOT":
+            if current is None:
+                raise BootError("PXELINUX: LOCALBOOT outside a LABEL")
+            current.localboot = True
+        elif verb in ("TIMEOUT", "PROMPT", "DISPLAY", "ONTIMEOUT"):
+            continue  # cosmetic directives
+        else:
+            raise BootError(f"PXELINUX: unknown directive {verb!r}")
+    if default_name is None:
+        if not labels:
+            raise BootError("PXELINUX config has no labels")
+        default_name = next(iter(labels))
+    if default_name not in labels:
+        raise BootError(f"PXELINUX: DEFAULT {default_name!r} has no LABEL")
+    labels[""] = PxelinuxLabel(name=default_name)
+    return labels
+
+
+def config_path_for(mac: str) -> str:
+    return f"{CONFIG_DIR}/01-" + normalize_mac(mac).replace(":", "-")
+
+
+def default_config_path() -> str:
+    return f"{CONFIG_DIR}/default"
+
+
+class Pxelinux:
+    """The PXELINUX ROM running on a PXE-booted node."""
+
+    def __init__(self, tftp: TftpServer) -> None:
+        self.tftp = tftp
+
+    def locate_config(self, mac: str) -> str:
+        per_mac = config_path_for(mac)
+        if self.tftp.exists(per_mac):
+            return self.tftp.fetch(per_mac)
+        try:
+            return self.tftp.fetch(default_config_path())
+        except NetworkError as exc:
+            raise BootError(f"PXELINUX: no config for {mac}") from exc
+
+    def boot(self, mac: str) -> PxelinuxAction:
+        """Resolve the PXELINUX decision for the node with *mac*."""
+        labels = parse_pxelinux_config(self.locate_config(mac))
+        chosen = labels[labels[""].name]
+        if chosen.localboot:
+            return PxelinuxAction(kind="localboot", label=chosen.name)
+        if chosen.kernel is None:
+            raise BootError(
+                f"PXELINUX label {chosen.name!r} has neither KERNEL nor LOCALBOOT"
+            )
+        if not self.tftp.exists("/" + chosen.kernel.lstrip("/")):
+            raise BootError(f"PXELINUX: kernel {chosen.kernel!r} not on TFTP")
+        return PxelinuxAction(
+            kind="kernel", kernel=chosen.kernel, append=chosen.append,
+            label=chosen.name,
+        )

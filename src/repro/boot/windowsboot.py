@@ -1,0 +1,41 @@
+"""Windows-side boot pieces: volume boot records and the MBR active path.
+
+A ``chainloader +1`` (or the generic MBR code) transfers control to the
+target partition's volume boot record.  In this model a partition is
+VBR-bootable when it carries an NTFS filesystem containing ``bootmgr`` —
+the marker a Windows Server 2008 R2 installation writes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BootError
+from repro.storage.disk import Disk
+from repro.storage.partition import FsType, Partition
+
+#: File whose presence marks a bootable Windows system volume.
+WINDOWS_BOOT_MARKER = "/bootmgr"
+#: Marker of an installed (not merely formatted) Windows system.
+WINDOWS_SYSTEM_MARKER = "/Windows/System32/ntoskrnl.exe"
+
+
+def vbr_bootable(partition: Partition) -> bool:
+    """Can the partition's volume boot record start an OS?"""
+    if partition.filesystem is None or partition.fstype is not FsType.NTFS:
+        return False
+    return partition.filesystem.isfile(WINDOWS_BOOT_MARKER)
+
+
+def boot_active_partition(disk: Disk) -> Partition:
+    """The generic/Microsoft MBR path: jump to the active partition's VBR.
+
+    Raises :class:`BootError` when there is no active partition or its VBR
+    is not bootable (blinking-cursor hang on real hardware).
+    """
+    active = disk.active_partition
+    if active is None:
+        raise BootError("MBR: no active partition")
+    if not vbr_bootable(active):
+        raise BootError(
+            f"MBR: active partition {active.linux_name} has no bootable VBR"
+        )
+    return active

@@ -1,0 +1,73 @@
+"""``repro-experiments`` — run the reproduction experiments from a shell.
+
+Usage::
+
+    repro-experiments list                 # what exists
+    repro-experiments run e1 e4            # run specific experiments
+    repro-experiments run all --quick      # everything, CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduction experiments for 'Hybrid Computer Cluster "
+        "with High Flexibility' (IEEE Cluster 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments", nargs="+",
+        help="experiment ids (see `list`), or 'all'",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--quick", action="store_true",
+        help="smaller clusters/horizons (same result shapes)",
+    )
+    return parser
+
+
+def _resolve(names: List[str]) -> List[str]:
+    if names == ["all"]:
+        return list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment id(s): {', '.join(unknown)} "
+            f"(have: {', '.join(ALL_EXPERIMENTS)})"
+        )
+    return names
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, module_path in ALL_EXPERIMENTS.items():
+            module = importlib.import_module(module_path)
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{experiment_id:12s} {doc}")
+        return 0
+
+    for experiment_id in _resolve(args.experiments):
+        module = importlib.import_module(ALL_EXPERIMENTS[experiment_id])
+        output = module.run(seed=args.seed, quick=args.quick)
+        print(output.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

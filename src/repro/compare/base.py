@@ -1,0 +1,58 @@
+"""The interface every compared system implements."""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Tuple
+
+from repro.metrics.recorder import ClusterRecorder
+from repro.simkernel import Simulator
+from repro.workloads.jobs import WorkloadJob
+
+
+def cores_to_pbs_shape(cores: int, cores_per_node: int = 4) -> Tuple[int, int]:
+    """Map a flat core request onto PBS ``nodes=N:ppn=M``.
+
+    ≤ one node: a single node with exactly that many cores; larger: whole
+    nodes (the campus convention for parallel codes).
+    """
+    if cores <= cores_per_node:
+        return 1, cores
+    return math.ceil(cores / cores_per_node), cores_per_node
+
+
+class ComparableSystem(abc.ABC):
+    """A deployable cluster system that accepts workload jobs.
+
+    Lifecycle: construct → :meth:`deploy` (advances the sim as needed to
+    become operational) → :meth:`submit` at arrival times (driven by the
+    runner) → :meth:`finalize` before reading the recorder.
+    """
+
+    label: str = "abstract"
+
+    def __init__(self) -> None:
+        self.recorder = ClusterRecorder()
+        self.rejected = 0
+
+    @property
+    @abc.abstractmethod
+    def sim(self) -> Simulator:
+        """The simulator this system lives on."""
+
+    @property
+    @abc.abstractmethod
+    def total_cores(self) -> int:
+        """Raw physical core count (the utilisation denominator)."""
+
+    @abc.abstractmethod
+    def deploy(self) -> None:
+        """Bring the system to operational state."""
+
+    @abc.abstractmethod
+    def submit(self, job: WorkloadJob) -> None:
+        """Enqueue one workload job (increment ``rejected`` if refused)."""
+
+    def finalize(self) -> None:
+        self.recorder.finalize(self.sim.now)

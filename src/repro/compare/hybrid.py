@@ -1,0 +1,71 @@
+"""The system under study, wrapped for comparison."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compare.base import ComparableSystem, cores_to_pbs_shape
+from repro.core.config import MiddlewareConfig
+from repro.core.middleware import DualBootOscar, build_hybrid_cluster
+from repro.core.policy import SwitchPolicy
+from repro.errors import SchedulerError
+from repro.pbs.script import JobSpec
+from repro.simkernel import Simulator
+from repro.winhpc.job import WinJobSpec, WinJobUnit
+from repro.workloads.jobs import WorkloadJob
+
+
+class HybridSystem(ComparableSystem):
+    """dualboot-oscar (v1 or v2) on the standard cluster."""
+
+    def __init__(
+        self,
+        num_nodes: int = 16,
+        seed: int = 0,
+        version: int = 2,
+        config: Optional[MiddlewareConfig] = None,
+        policy: Optional[SwitchPolicy] = None,
+        label_suffix: str = "",
+    ) -> None:
+        super().__init__()
+        self.middleware: DualBootOscar = build_hybrid_cluster(
+            num_nodes=num_nodes, seed=seed, version=version,
+            config=config, policy=policy,
+        )
+        self.label = f"hybrid-v{self.middleware.version}{label_suffix}"
+        # share the recorder so the runner sees everything
+        self.middleware.recorder = self.recorder
+
+    @property
+    def sim(self) -> Simulator:
+        return self.middleware.sim
+
+    @property
+    def total_cores(self) -> int:
+        return self.middleware.cluster.total_cores
+
+    def deploy(self) -> None:
+        self.middleware.deploy()
+        self.middleware.wait_for_nodes()
+
+    def submit(self, job: WorkloadJob) -> None:
+        try:
+            if job.os_name == "linux":
+                nodes, ppn = cores_to_pbs_shape(job.cores)
+                self.middleware.pbs.qsub(
+                    JobSpec(
+                        name=job.name, nodes=nodes, ppn=ppn,
+                        runtime_s=job.runtime_s, tag=job.tag,
+                    ),
+                    owner=self.middleware.config.pbs_user,
+                )
+            else:
+                self.middleware.winhpc.submit(
+                    WinJobSpec(
+                        name=job.name, unit=WinJobUnit.CORE,
+                        amount=job.cores, runtime_s=job.runtime_s,
+                        tag=job.tag,
+                    )
+                )
+        except SchedulerError:
+            self.rejected += 1

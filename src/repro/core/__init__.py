@@ -1,0 +1,44 @@
+"""dualboot-oscar — the paper's contribution.
+
+The middleware that makes a dual-boot Beowulf cluster *bi-stable*: queue
+detectors on both head nodes, a fixed-cycle TCP communicator protocol,
+a switch-decision policy, OS-switch batch jobs, and two generations of
+boot controller (v1: GRUB ``controlmenu.lst`` on a FAT partition;
+v2: PXE/GRUB4DOS flag on the head node).
+
+Layer map (bottom → top):
+
+* :mod:`~repro.core.wire` — the Figure-5 fixed-width detector message;
+* :mod:`~repro.core.detector` — queue-state fetchers ("stuck" = nothing
+  running, something queued);
+* :mod:`~repro.core.bootcontrol` — Carter's ``bootcontrol.pl`` logic;
+* :mod:`~repro.core.switchjob` — the Figure-4 PBS script and its
+  Windows ``.bat`` sibling, as generated text;
+* :mod:`~repro.core.controller_v1` / :mod:`~repro.core.controller_v2` —
+  the two boot-control back-ends behind one interface;
+* :mod:`~repro.core.policy` — FCFS (the paper's rule) plus the
+  "diverse administration requirements" extensions of §V;
+* :mod:`~repro.core.communicator` + :mod:`~repro.core.daemon` — the two
+  head-node daemons of Figure 11;
+* :mod:`~repro.core.middleware` — the :class:`DualBootOscar` facade that
+  deploys and runs the whole system.
+"""
+
+from repro.core.config import MiddlewareConfig
+from repro.core.detector import DetectorReport, PbsDetector, WinHpcDetector
+from repro.core.middleware import DualBootOscar, build_hybrid_cluster
+from repro.core.policy import FcfsPolicy, SwitchDecision, SwitchPolicy
+from repro.core.wire import QueueStateMessage
+
+__all__ = [
+    "DetectorReport",
+    "DualBootOscar",
+    "FcfsPolicy",
+    "MiddlewareConfig",
+    "PbsDetector",
+    "QueueStateMessage",
+    "SwitchDecision",
+    "SwitchPolicy",
+    "WinHpcDetector",
+    "build_hybrid_cluster",
+]

@@ -1,0 +1,58 @@
+"""``bootcontrol.pl`` — rewrite a GRUB control file's default entry.
+
+Carter's universal Perl script [3], as used by v1's switch job (Figure 4,
+line 22)::
+
+    sudo /boot/swap/bootcontrol.pl /boot/swap/controlmenu.lst windows
+
+Matching rule: menu titles carry a trailing OS tag (Figure 3:
+``CentOS-5.4_Oscar-5b2-linux``, ``Win_Server_2K8_R2-windows``); the script
+points ``default`` at the first entry whose title ends with the requested
+tag.
+
+:func:`register_bootcontrol` installs the reimplementation as an
+executable on an OS instance so that the *generated script text* really
+drives the switch via the shell interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.boot.grubcfg import parse_grub_config, render_grub_config
+from repro.errors import MiddlewareError
+from repro.oslayer.base import OSInstance
+
+VALID_TARGETS = ("linux", "windows")
+
+#: Where v1 mounts the FAT control partition on the Linux side (Figure 4).
+CONTROL_MOUNTPOINT = "/boot/swap"
+BOOTCONTROL_PATH = f"{CONTROL_MOUNTPOINT}/bootcontrol.pl"
+CONTROLMENU_PATH = f"{CONTROL_MOUNTPOINT}/controlmenu.lst"
+
+
+def switch_grub_default(config_text: str, target_os: str) -> str:
+    """Return *config_text* with ``default`` pointing at the *target_os*
+    entry (the core of ``bootcontrol.pl``)."""
+    if target_os not in VALID_TARGETS:
+        raise MiddlewareError(f"unknown switch target {target_os!r}")
+    config = parse_grub_config(config_text)
+    config.default = config.entry_index_by_title_suffix(f"-{target_os}")
+    return render_grub_config(config, default_style=" ")
+
+
+def bootcontrol(os_instance: OSInstance, args: List[str]) -> str:
+    """The executable: ``bootcontrol.pl <configfile> <linux|windows>``."""
+    if len(args) != 2:
+        raise MiddlewareError(
+            f"bootcontrol.pl: usage <configfile> <os>, got {args!r}"
+        )
+    config_path, target_os = args
+    text = os_instance.read(config_path)
+    os_instance.write(config_path, switch_grub_default(text, target_os))
+    return f"default set to {target_os}"
+
+
+def register_bootcontrol(os_instance: OSInstance, path: str = BOOTCONTROL_PATH) -> None:
+    """Install ``bootcontrol.pl`` as an executable on *os_instance*."""
+    os_instance.register_binary(path, bootcontrol)

@@ -1,0 +1,200 @@
+"""The two head-node communicator daemons (Figure 11).
+
+Protocol, exactly as numbered in the paper's flowchart:
+
+1. the **Windows communicator** fetches its queue state on a fixed cycle
+   (e.g. 10 minutes);
+2. it sends the state (a Figure-5 wire string) to the Linux communicator
+   over TCP;
+3. the **Linux communicator** fetches the PBS queue state;
+4. it decides (policy) and sets the target-OS flag;
+5. it sends reboot orders — switch batch jobs — to whichever scheduler
+   owns the donor nodes; the jobs book free machines and reboot them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.controller import BootController
+from repro.core.detector import PbsDetector, WinHpcDetector
+from repro.core.policy import ClusterView, SwitchDecision, SwitchPolicy
+from repro.core.switchjob import SWITCH_TAG, pbs_switch_jobspec
+from repro.core.wire import QueueStateMessage
+from repro.errors import MiddlewareError
+from repro.netsvc.network import Host, PortListener
+from repro.pbs.job import JobState
+from repro.pbs.server import PbsServer
+from repro.simkernel import Simulator, Timeout
+from repro.winhpc.job import WinJobSpec, WinJobUnit
+from repro.winhpc.scheduler import WinHpcScheduler
+
+
+@dataclass
+class DecisionRecord:
+    """One control-loop evaluation, kept for analysis."""
+
+    time: float
+    windows_wire: str
+    linux_wire: str
+    decision: SwitchDecision
+
+
+class SwitchOrders:
+    """Step 5: issuing reboot batch jobs and tracking what is in flight."""
+
+    def __init__(
+        self,
+        pbs: PbsServer,
+        winhpc: WinHpcScheduler,
+        controller: BootController,
+        pbs_user: str = "sliang",
+    ) -> None:
+        self.pbs = pbs
+        self.winhpc = winhpc
+        self.controller = controller
+        self.pbs_user = pbs_user
+        self.orders_issued = 0
+
+    def pending_to_windows(self) -> int:
+        """Switch jobs alive on the PBS side (nodes heading to Windows)."""
+        return sum(
+            1
+            for job in self.pbs.jobs.values()
+            if job.tag == SWITCH_TAG
+            and job.state in (JobState.QUEUED, JobState.RUNNING)
+        )
+
+    def pending_to_linux(self) -> int:
+        return sum(
+            1
+            for job in self.winhpc.jobs.values()
+            if job.tag == SWITCH_TAG and job.state.value in ("Queued", "Running")
+        )
+
+    def issue(self, decision: SwitchDecision) -> None:
+        """Set the flag (v2) and submit one switch job per node to move."""
+        if not decision.is_switch:
+            return
+        target = decision.target_os
+        if self.controller.has_cluster_flag:
+            # v2 single-flag: set the head-side flag before any reboot
+            # lands; otherwise the switch job itself carries the target
+            # (v1 controlmenu edits, v2 per-MAC Figure-12 flow)
+            self.controller.set_target_os(target)
+        if target == "windows":
+            script = self.controller.linux_switch_script("windows")
+            for _ in range(decision.num_nodes):
+                spec = pbs_switch_jobspec(script)
+                self.pbs.qsub(spec, owner=self.pbs_user)
+                self.orders_issued += 1
+        else:
+            script = self.controller.windows_switch_script("linux")
+            for _ in range(decision.num_nodes):
+                self.winhpc.submit(
+                    WinJobSpec(
+                        name="release_1_node",
+                        unit=WinJobUnit.NODE,
+                        amount=1,
+                        script=script,
+                        tag=SWITCH_TAG,
+                    ),
+                    owner="dualboot-oscar",
+                )
+                self.orders_issued += 1
+
+
+class LinuxCommunicator:
+    """The deciding daemon on the OSCAR head node (steps 3–5)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        listener: PortListener,
+        detector: PbsDetector,
+        policy: SwitchPolicy,
+        orders: SwitchOrders,
+        cores_per_node: int = 4,
+    ) -> None:
+        self.sim = sim
+        self.listener = listener
+        self.detector = detector
+        self.policy = policy
+        self.orders = orders
+        self.cores_per_node = cores_per_node
+        self.decisions: List[DecisionRecord] = []
+
+    def views(self, windows_state: QueueStateMessage):
+        """Assemble both sides' ClusterViews from live scheduler state."""
+        linux_report = self.detector.check()
+        pbs = self.orders.pbs
+        win = self.orders.winhpc
+        linux_view = ClusterView(
+            state=linux_report.message,
+            idle_nodes=sum(1 for r in pbs.up_nodes() if not r.busy),
+            total_nodes=len(pbs.up_nodes()),
+            pending_switches=self.orders.pending_to_linux(),
+        )
+        windows_view = ClusterView(
+            state=windows_state,
+            idle_nodes=len(win.idle_nodes()),
+            total_nodes=len(win.online_nodes()),
+            pending_switches=self.orders.pending_to_windows(),
+        )
+        return linux_report, linux_view, windows_view
+
+    def handle(self, windows_wire: str) -> SwitchDecision:
+        """One control evaluation (steps 3–5) for an incoming wire string."""
+        windows_state = QueueStateMessage.decode(windows_wire)
+        linux_report, linux_view, windows_view = self.views(windows_state)
+        decision = self.policy.decide(
+            linux_view, windows_view, self.cores_per_node
+        )
+        self.decisions.append(
+            DecisionRecord(
+                time=self.sim.now,
+                windows_wire=windows_wire,
+                linux_wire=linux_report.wire,
+                decision=decision,
+            )
+        )
+        self.orders.issue(decision)
+        return decision
+
+    def run(self):
+        """Daemon process: react to every incoming queue-state message."""
+        while True:
+            message = yield self.listener.get()
+            self.handle(message.payload)
+
+
+class WindowsCommunicator:
+    """The reporting daemon on the Windows head node (steps 1–2)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        detector: WinHpcDetector,
+        linux_head: str,
+        port: int,
+        cycle_s: float,
+    ) -> None:
+        if cycle_s <= 0:
+            raise MiddlewareError("communicator cycle must be positive")
+        self.sim = sim
+        self.host = host
+        self.detector = detector
+        self.linux_head = linux_head
+        self.port = port
+        self.cycle_s = cycle_s
+        self.reports_sent = 0
+
+    def run(self):
+        """Daemon process: report the Windows queue state every cycle."""
+        while True:
+            report = self.detector.check()
+            self.host.send(self.linux_head, self.port, report.wire)
+            self.reports_sent += 1
+            yield Timeout(self.cycle_s)

@@ -1,0 +1,52 @@
+"""Middleware configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.simkernel.timeunits import MINUTE
+
+#: TCP port the Linux communicator listens on.
+COMMUNICATOR_PORT = 5800
+
+
+@dataclass
+class MiddlewareConfig:
+    """Knobs of a dualboot-oscar deployment.
+
+    Defaults follow the paper: v2 middleware, a 10-minute communicator
+    cycle ("fixed cycles (intervals), e.g. 10mins", §IV.A.3), 150 GB
+    reserved for Windows on 250 GB disks (§III.C.2), everything starting
+    in Linux.
+    """
+
+    version: int = 2
+    check_cycle_s: float = 10 * MINUTE
+    windows_partition_mb: float = 150_000.0
+    initial_os: str = "linux"
+    initial_windows_nodes: int = 0
+    communicator_port: int = COMMUNICATOR_PORT
+    #: v1 switch mechanism: "bootcontrol" (Figure 4) or "rename" (§III.B.1)
+    v1_switch_method: str = "rename"
+    #: v2 menu mode: single shared flag (the paper's final design) or
+    #: per-MAC menu files (the initial v2 approach of Figure 12)
+    v2_per_mac_menus: bool = False
+    pbs_user: str = "sliang"
+    #: §V extension: detectors advertise backlog in the CPU field even
+    #: while jobs run (pair with EagerPolicy)
+    eager_detectors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.version not in (1, 2):
+            raise ConfigurationError(f"version must be 1 or 2, got {self.version}")
+        if self.check_cycle_s <= 0:
+            raise ConfigurationError("check cycle must be positive")
+        if self.initial_os not in ("linux", "windows"):
+            raise ConfigurationError(f"bad initial OS {self.initial_os!r}")
+        if self.initial_windows_nodes < 0:
+            raise ConfigurationError("initial_windows_nodes must be >= 0")
+        if self.v1_switch_method not in ("bootcontrol", "rename"):
+            raise ConfigurationError(
+                f"bad v1 switch method {self.v1_switch_method!r}"
+            )

@@ -1,0 +1,99 @@
+"""Boot-controller interface + shared dual-boot menu generation.
+
+A boot controller owns the mechanism that decides which OS a node boots
+next.  Both generations expose the same surface so the daemons and the
+experiments can swap them freely:
+
+* ``prepare_cluster()``   — one-time head-node provisioning;
+* ``prepare_node(node)``  — per-node artefacts + firmware configuration;
+* ``set_target_os(os[, node])`` — flip the flag (head-side for v2,
+  per-node file for v1);
+* ``current_target([node])``    — read the flag back;
+* ``linux_switch_script(target)`` / ``windows_switch_script(target)`` —
+  the batch-job text that performs a switch from inside each OS.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.node import ComputeNode
+from repro.oslayer.linux import DEFAULT_KERNEL_VERSION
+
+
+@dataclass(frozen=True)
+class DualBootMenuSpec:
+    """Partition geometry baked into the generated GRUB menus."""
+
+    boot_partition: int
+    root_partition: int
+    windows_partition: int = 1
+    kernel_version: str = DEFAULT_KERNEL_VERSION
+    linux_title: str = "CentOS-5.4_Oscar-5b2-linux"
+    windows_title: str = "Win_Server_2K8_R2-windows"
+
+
+def make_dualboot_menu(spec: DualBootMenuSpec, default_os: str = "linux") -> str:
+    """The Figure-3 control menu, generated from real geometry.
+
+    Works both locally (v1's FAT ``controlmenu.lst``) and over PXE (v2's
+    GRUB4DOS menu files) — GRUB4DOS resolves ``(hd0,N)`` against the
+    node's local disk.
+    """
+    default = 0 if default_os == "linux" else 1
+    return (
+        f"default {default}\n"
+        "timeout=10\n"
+        f"splashimage=(hd0,{spec.boot_partition - 1})/grub/splash.xpm.gz\n"
+        "\n"
+        f"title {spec.linux_title}\n"
+        f"root (hd0,{spec.boot_partition - 1})\n"
+        f"kernel /vmlinuz-{spec.kernel_version} ro "
+        f"root=/dev/sda{spec.root_partition} enforcing=0\n"
+        f"initrd /sc-initrd-{spec.kernel_version}.gz\n"
+        "\n"
+        f"title {spec.windows_title}\n"
+        f"rootnoverify (hd0,{spec.windows_partition - 1})\n"
+        "chainloader +1\n"
+    )
+
+
+class BootController(abc.ABC):
+    """Common surface of the v1 and v2 controllers."""
+
+    name: str = "abstract"
+
+    @property
+    def has_cluster_flag(self) -> bool:
+        """True when one head-side flag covers the whole cluster (v2's
+        final single-flag design).  When False, the switch job itself must
+        carry/flick the target (v1's controlmenu, v2's per-MAC mode —
+        the Figure-12 flow)."""
+        return False
+
+    @abc.abstractmethod
+    def prepare_cluster(self) -> None:
+        """One-time head-node provisioning (PXE files, DHCP options, ...)."""
+
+    @abc.abstractmethod
+    def prepare_node(self, node: ComputeNode, initial_os: str = "linux") -> None:
+        """Install per-node boot-control artefacts and firmware settings."""
+
+    @abc.abstractmethod
+    def set_target_os(self, target_os: str, node: Optional[ComputeNode] = None) -> None:
+        """Point the control flag at *target_os* (cluster-wide, or one node
+        where the mechanism supports it)."""
+
+    @abc.abstractmethod
+    def current_target(self, node: Optional[ComputeNode] = None) -> str:
+        """The OS the flag currently points at."""
+
+    @abc.abstractmethod
+    def linux_switch_script(self, target_os: str) -> str:
+        """PBS job script that moves its node to *target_os*."""
+
+    @abc.abstractmethod
+    def windows_switch_script(self, target_os: str) -> str:
+        """Windows HPC job script that moves its node to *target_os*."""

@@ -1,0 +1,95 @@
+"""Daemon wiring: start/stop the two communicators on a cluster.
+
+"The key to make the dual-boot cluster switch idle resources
+automatically, are the daemon (background) programs.  Two daemon programs
+are running at each head node" (§III.B.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.communicator import (
+    LinuxCommunicator,
+    SwitchOrders,
+    WindowsCommunicator,
+)
+from repro.core.controller import BootController
+from repro.core.detector import PbsDetector, WinHpcDetector
+from repro.core.policy import SwitchPolicy
+from repro.hardware.cluster import Cluster
+from repro.pbs.commands import PbsCommands
+from repro.pbs.server import PbsServer
+from repro.simkernel import Process
+from repro.winhpc.scheduler import WinHpcScheduler
+from repro.winhpc.sdk import HpcSchedulerConnection
+
+
+@dataclass
+class DualBootDaemons:
+    """Handles to the running control plane."""
+
+    linux: LinuxCommunicator
+    windows: WindowsCommunicator
+    linux_process: Process
+    windows_process: Process
+    orders: SwitchOrders
+
+    def stop(self) -> None:
+        """Kill both daemons (e.g. to freeze the system for analysis)."""
+        self.linux_process.kill()
+        self.windows_process.kill()
+
+
+def start_daemons(
+    cluster: Cluster,
+    pbs: PbsServer,
+    winhpc: WinHpcScheduler,
+    controller: BootController,
+    policy: SwitchPolicy,
+    cycle_s: float,
+    port: int,
+    pbs_user: str = "sliang",
+    cores_per_node: Optional[int] = None,
+    eager_detectors: bool = False,
+) -> DualBootDaemons:
+    """Stand up both communicator daemons and return their handles."""
+    sim = cluster.sim
+    if cores_per_node is None:
+        cores_per_node = (
+            cluster.compute_nodes[0].cores if cluster.compute_nodes else 4
+        )
+
+    orders = SwitchOrders(pbs, winhpc, controller, pbs_user=pbs_user)
+
+    listener = cluster.linux_head.host.listen(port)
+    linux_daemon = LinuxCommunicator(
+        sim=sim,
+        listener=listener,
+        detector=PbsDetector(
+            PbsCommands(pbs, default_user=pbs_user), eager=eager_detectors
+        ),
+        policy=policy,
+        orders=orders,
+        cores_per_node=cores_per_node,
+    )
+
+    sdk = HpcSchedulerConnection()
+    sdk.connect(winhpc)
+    windows_daemon = WindowsCommunicator(
+        sim=sim,
+        host=cluster.windows_head.host,
+        detector=WinHpcDetector(sdk, eager=eager_detectors),
+        linux_head=cluster.linux_head.name,
+        port=port,
+        cycle_s=cycle_s,
+    )
+
+    return DualBootDaemons(
+        linux=linux_daemon,
+        windows=windows_daemon,
+        linux_process=sim.spawn(linux_daemon.run(), name="daemon:linux"),
+        windows_process=sim.spawn(windows_daemon.run(), name="daemon:windows"),
+        orders=orders,
+    )

@@ -1,0 +1,209 @@
+"""Queue-state detectors ("checkqueue", §III.B.3–4).
+
+Definition from the paper: "we define a scheduler is **stuck** when the
+scheduler has no job running and several jobs are queuing.  The detector
+reads how many compute nodes the first queuing job needs."
+
+Two implementations, faithful to how each side observes its scheduler:
+
+* :class:`PbsDetector` **parses the rendered text** of ``qstat -f``
+  (because "PBS does not provide APIs ... Several Perl programs had been
+  written for parsing the output of PBS commands");
+* :class:`WinHpcDetector` queries the SDK facade, as the original C#
+  tool did.
+
+Both produce the same :class:`DetectorReport`: the Figure-5 wire message
+plus the debug lines of Figure 6.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.wire import QueueStateMessage
+from repro.pbs.commands import PbsCommands
+from repro.winhpc.job import WinJobState, WinJobUnit
+from repro.winhpc.sdk import HpcSchedulerConnection
+
+#: The middleware's own switch jobs must not count as demand, or each
+#: switch would trigger another switch (positive feedback).
+SWITCH_TAG = "os-switch"
+SWITCH_JOB_NAME = "release_1_node"
+
+
+@dataclass
+class DetectorReport:
+    """Wire message + the Figure-6 style diagnostic text."""
+
+    message: QueueStateMessage
+    running: int
+    queued: int
+    debug: List[str] = field(default_factory=list)
+
+    @property
+    def wire(self) -> str:
+        return self.message.encode()
+
+    def text(self) -> str:
+        """The full detector stdout (first line is the wire string)."""
+        return "\n".join([self.wire] + self.debug)
+
+
+# -- PBS side (text parsing) ---------------------------------------------------
+
+_JOB_SPLIT_RE = re.compile(r"^Job Id: ", re.MULTILINE)
+_FIELD_RE = re.compile(r"^\s{4}(\S+) = (.*)$", re.MULTILINE)
+_NODES_RE = re.compile(r"(\d+)(?::ppn=(\d+))?")
+
+
+def parse_qstat_full(text: str) -> List[dict]:
+    """Parse ``qstat -f`` text into a list of attribute dicts.
+
+    This is the Perl detector's job, done in Python: nothing here touches
+    scheduler objects — only the rendered text.
+    """
+    jobs = []
+    for chunk in _JOB_SPLIT_RE.split(text):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        jobid = chunk.splitlines()[0].strip()
+        attributes = {"Job_Id": jobid}
+        for match in _FIELD_RE.finditer(chunk):
+            attributes[match.group(1)] = match.group(2).strip()
+        jobs.append(attributes)
+    return jobs
+
+
+def _required_cpus(attributes: dict) -> int:
+    resource = attributes.get("Resource_List.nodes", "1")
+    m = _NODES_RE.match(resource)
+    if not m:
+        return 1
+    nodes = int(m.group(1))
+    ppn = int(m.group(2)) if m.group(2) else 1
+    return nodes * ppn
+
+
+class PbsDetector:
+    """The OSCAR-side ``checkqueue.pl``.
+
+    ``eager=True`` is the §V extension: the CPU field (positions 1–4 of
+    the wire, "default 0000") is filled with the head queued job's needs
+    even while other jobs run, so an :class:`~repro.core.policy.EagerPolicy`
+    can react to backlog without waiting for the queue to empty.  The
+    wire format itself is unchanged.
+    """
+
+    def __init__(self, commands: PbsCommands, eager: bool = False) -> None:
+        self.commands = commands
+        self.eager = eager
+
+    def check(self) -> DetectorReport:
+        """One detector run over the current ``qstat -f`` output."""
+        jobs = parse_qstat_full(self.commands.qstat_f())
+        workload = [j for j in jobs if j.get("Job_Name") != SWITCH_JOB_NAME]
+        running = [j for j in workload if j.get("job_state") == "R"]
+        queued = [j for j in workload if j.get("job_state") == "Q"]
+        return _build_report(
+            eager=self.eager,
+            running=len(running),
+            queued=len(queued),
+            first_queued=(
+                (queued[0]["Job_Id"], _required_cpus(queued[0]))
+                if queued
+                else None
+            ),
+            running_detail=[
+                f"{j['Job_Id']}\n"
+                f"        Job_Name={j.get('Job_Name', '?')}\n"
+                f"        Job_Ownner={j.get('Job_Owner', '?')}\n"
+                f"        state=R"
+                for j in running
+            ],
+        )
+
+
+# -- Windows side (SDK) -------------------------------------------------------
+
+
+class WinHpcDetector:
+    """The Windows-side queue fetcher (via the SDK facade).
+
+    ``eager`` as in :class:`PbsDetector`.
+    """
+
+    def __init__(
+        self, connection: HpcSchedulerConnection, eager: bool = False
+    ) -> None:
+        self.connection = connection
+        self.eager = eager
+
+    def check(self) -> DetectorReport:
+        running = [
+            j
+            for j in self.connection.get_job_list(WinJobState.RUNNING)
+            if j.tag != SWITCH_TAG
+        ]
+        queued = [
+            j
+            for j in self.connection.get_job_list(WinJobState.QUEUED)
+            if j.tag != SWITCH_TAG
+        ]
+        first: Optional[Tuple[str, int]] = None
+        if queued:
+            head = queued[0]
+            cores = head.amount
+            if head.unit is WinJobUnit.NODE:
+                node_cores = max(
+                    (r.cores for r in self.connection.get_node_list()),
+                    default=1,
+                )
+                cores = head.amount * node_cores
+            first = (str(head.job_id), cores)
+        return _build_report(
+            running=len(running),
+            queued=len(queued),
+            first_queued=first,
+            running_detail=[f"{j.job_id} {j.name} Running" for j in running],
+            eager=self.eager,
+        )
+
+
+# -- shared report assembly ---------------------------------------------------
+
+
+def _build_report(
+    running: int,
+    queued: int,
+    first_queued: Optional[Tuple[str, int]],
+    running_detail: List[str],
+    eager: bool = False,
+) -> DetectorReport:
+    stuck = running == 0 and queued > 0
+    if stuck:
+        jobid, cpus = first_queued
+        message = QueueStateMessage.stuck_queue(cpus, jobid)
+        debug = ["Queue stuck", f"R={running} nR={queued}"]
+    elif running > 0:
+        if eager and queued > 0:
+            # §V extension: advertise the backlog in the CPU field while
+            # keeping the stuck flag honest
+            jobid, cpus = first_queued
+            message = QueueStateMessage(
+                stuck=False, needed_cpus=cpus, stuck_jobid=jobid
+            )
+        else:
+            message = QueueStateMessage.idle()
+        state_line = (
+            "Job running, no queuing." if queued == 0 else "Job running."
+        )
+        debug = [state_line, f"R={running} nR={queued}"] + running_detail
+    else:
+        message = QueueStateMessage.idle()
+        debug = ["Other state", f"R={running} nR={queued}"]
+    return DetectorReport(
+        message=message, running=running, queued=queued, debug=debug
+    )

@@ -1,0 +1,212 @@
+"""Switch-decision policies.
+
+The paper's daemons implement plain first-come first-serve: when one
+scheduler is stuck and the other side has idle machines, switch enough
+idle machines to run the stuck job (§III.B.3, §IV.A.3).  §V flags this as
+future work — "this could be improved to adapt the rules from diverse
+administration requirements" — so the policy is pluggable and two such
+improvements ship alongside FCFS:
+
+* :class:`ThresholdPolicy` — require the stuck state to persist for N
+  consecutive cycles before switching (anti-thrash under bursty load);
+* :class:`ReservePolicy` — never leave an OS with fewer than a floor of
+  nodes (capacity guarantees per user community).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.wire import QueueStateMessage
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """What the deciding daemon knows about one side of the cluster."""
+
+    state: QueueStateMessage
+    idle_nodes: int       # machines that could donate (fully free, up)
+    total_nodes: int      # machines currently living in this OS
+    pending_switches: int = 0  # switch jobs already issued toward this side
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """What the daemon should do this cycle."""
+
+    target_os: Optional[str]  # OS that should RECEIVE nodes (None = nothing)
+    num_nodes: int = 0
+    reason: str = ""
+
+    @classmethod
+    def nothing(cls, reason: str = "") -> "SwitchDecision":
+        return cls(target_os=None, num_nodes=0, reason=reason)
+
+    @property
+    def is_switch(self) -> bool:
+        return self.target_os is not None and self.num_nodes > 0
+
+
+class SwitchPolicy:
+    """Base class: decide who donates nodes to whom."""
+
+    def decide(
+        self,
+        linux: ClusterView,
+        windows: ClusterView,
+        cores_per_node: int,
+    ) -> SwitchDecision:
+        raise NotImplementedError
+
+    @staticmethod
+    def _nodes_needed(message: QueueStateMessage, cores_per_node: int) -> int:
+        return max(1, math.ceil(message.needed_cpus / max(1, cores_per_node)))
+
+
+class FcfsPolicy(SwitchPolicy):
+    """The paper's rule.
+
+    Exactly one side stuck → the other side donates up to the number of
+    idle machines the stuck job still needs (minus switches already in
+    flight).  Both stuck, or neither: do nothing — there is nothing idle
+    worth moving.
+    """
+
+    def decide(
+        self,
+        linux: ClusterView,
+        windows: ClusterView,
+        cores_per_node: int,
+    ) -> SwitchDecision:
+        linux_stuck, windows_stuck = linux.state.stuck, windows.state.stuck
+        if linux_stuck and windows_stuck:
+            return SwitchDecision.nothing("both queues stuck; nothing idle to move")
+        if not linux_stuck and not windows_stuck:
+            return SwitchDecision.nothing("no queue stuck")
+
+        if linux_stuck:
+            needy, donor, target = linux, windows, "linux"
+        else:
+            needy, donor, target = windows, linux, "windows"
+        wanted = self._nodes_needed(needy.state, cores_per_node)
+        wanted -= needy.pending_switches
+        available = donor.idle_nodes
+        count = min(max(0, wanted), available)
+        if count <= 0:
+            return SwitchDecision.nothing(
+                f"{target} stuck but donor has no idle nodes "
+                f"(idle={available}, already switching={needy.pending_switches})"
+            )
+        return SwitchDecision(
+            target_os=target,
+            num_nodes=count,
+            reason=(
+                f"{target} queue stuck (job {needy.state.stuck_jobid} needs "
+                f"{needy.state.needed_cpus} CPUs); donor has {available} idle"
+            ),
+        )
+
+
+class EagerPolicy(SwitchPolicy):
+    """§V extension: react to *backlog*, not only to an empty-but-queued
+    scheduler.
+
+    Requires eager detectors (``MiddlewareConfig.eager_detectors=True``),
+    which fill the wire's CPU field whenever anything is queued.  The
+    donor still only gives up idle machines, so running jobs stay
+    protected; what changes is that a busy-but-backlogged side can grow.
+    """
+
+    @staticmethod
+    def _demand(view: ClusterView) -> int:
+        return view.state.needed_cpus if view.state.has_job else 0
+
+    def decide(
+        self,
+        linux: ClusterView,
+        windows: ClusterView,
+        cores_per_node: int,
+    ) -> SwitchDecision:
+        linux_demand = self._demand(linux)
+        windows_demand = self._demand(windows)
+        if linux_demand and windows_demand:
+            return SwitchDecision.nothing("backlog on both sides")
+        if not linux_demand and not windows_demand:
+            return SwitchDecision.nothing("no backlog")
+        if linux_demand:
+            needy, donor, target = linux, windows, "linux"
+        else:
+            needy, donor, target = windows, linux, "windows"
+        wanted = self._nodes_needed(needy.state, cores_per_node)
+        wanted -= needy.pending_switches
+        count = min(max(0, wanted), donor.idle_nodes)
+        if count <= 0:
+            return SwitchDecision.nothing(
+                f"{target} backlogged but donor has no idle nodes"
+            )
+        return SwitchDecision(
+            target_os=target,
+            num_nodes=count,
+            reason=(
+                f"{target} backlog (job {needy.state.stuck_jobid} needs "
+                f"{needy.state.needed_cpus} CPUs); eager switch"
+            ),
+        )
+
+
+class ThresholdPolicy(SwitchPolicy):
+    """FCFS gated on persistence: switch only after the same side has been
+    stuck for ``threshold`` consecutive decision cycles."""
+
+    def __init__(self, threshold: int = 2) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._streak: Dict[str, int] = {"linux": 0, "windows": 0}
+        self._inner = FcfsPolicy()
+
+    def decide(self, linux, windows, cores_per_node):
+        self._streak["linux"] = self._streak["linux"] + 1 if linux.state.stuck else 0
+        self._streak["windows"] = (
+            self._streak["windows"] + 1 if windows.state.stuck else 0
+        )
+        decision = self._inner.decide(linux, windows, cores_per_node)
+        if not decision.is_switch:
+            return decision
+        if self._streak[decision.target_os] < self.threshold:
+            return SwitchDecision.nothing(
+                f"{decision.target_os} stuck for "
+                f"{self._streak[decision.target_os]} cycle(s); waiting for "
+                f"{self.threshold}"
+            )
+        return decision
+
+
+class ReservePolicy(SwitchPolicy):
+    """FCFS with per-OS floors: a donor never drops below its reserve."""
+
+    def __init__(self, min_linux: int = 1, min_windows: int = 1) -> None:
+        self.min_linux = min_linux
+        self.min_windows = min_windows
+        self._inner = FcfsPolicy()
+
+    def decide(self, linux, windows, cores_per_node):
+        decision = self._inner.decide(linux, windows, cores_per_node)
+        if not decision.is_switch:
+            return decision
+        if decision.target_os == "linux":
+            donor_total, floor = windows.total_nodes, self.min_windows
+        else:
+            donor_total, floor = linux.total_nodes, self.min_linux
+        headroom = max(0, donor_total - floor)
+        count = min(decision.num_nodes, headroom)
+        if count <= 0:
+            return SwitchDecision.nothing(
+                f"donor at its reserve floor ({floor} nodes)"
+            )
+        return SwitchDecision(
+            target_os=decision.target_os, num_nodes=count,
+            reason=decision.reason + f"; capped by reserve floor {floor}",
+        )

@@ -1,0 +1,85 @@
+"""The Figure-5 detector wire format.
+
+A fixed-width character string sent between the head nodes::
+
+    Position 0      [Queue state]   Stuck=1, Others=0
+    Position 1-4    [Needed CPUs]   Default=0000
+    Position 5-67   [Stuck job ID]  Default=none
+    Position 68-    [Undefined]
+
+Figure 6 shows both shapes in the wild::
+
+    00000none                                (not stuck)
+    100041191.eridani.qgg.hud.ac.uk          (stuck, 4 CPUs, job 1191...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MiddlewareError
+
+#: Width of the CPU-count field.
+CPU_FIELD_WIDTH = 4
+#: Maximum job-id length (positions 5–67 inclusive).
+JOBID_FIELD_WIDTH = 63
+#: Value of the job-id field when there is no stuck job.
+NO_JOB = "none"
+
+
+@dataclass(frozen=True)
+class QueueStateMessage:
+    """One detector report, as carried on the wire."""
+
+    stuck: bool
+    needed_cpus: int
+    stuck_jobid: str
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.needed_cpus <= 9999:
+            raise MiddlewareError(
+                f"needed CPUs out of field range: {self.needed_cpus}"
+            )
+        if len(self.stuck_jobid) > JOBID_FIELD_WIDTH:
+            raise MiddlewareError(
+                f"job id too long for the wire ({len(self.stuck_jobid)} > "
+                f"{JOBID_FIELD_WIDTH}): {self.stuck_jobid!r}"
+            )
+        if not self.stuck_jobid:
+            raise MiddlewareError("job id field must not be empty (use 'none')")
+
+    @classmethod
+    def idle(cls) -> "QueueStateMessage":
+        """The not-stuck message (``00000none``)."""
+        return cls(stuck=False, needed_cpus=0, stuck_jobid=NO_JOB)
+
+    @classmethod
+    def stuck_queue(cls, needed_cpus: int, jobid: str) -> "QueueStateMessage":
+        return cls(stuck=True, needed_cpus=needed_cpus, stuck_jobid=jobid)
+
+    def encode(self) -> str:
+        """Render the wire string (unpadded tail, as in Figure 6)."""
+        return f"{1 if self.stuck else 0}{self.needed_cpus:04d}{self.stuck_jobid}"
+
+    @classmethod
+    def decode(cls, wire: str) -> "QueueStateMessage":
+        """Parse a wire string (tolerant of trailing padding/undefined)."""
+        if len(wire) < 1 + CPU_FIELD_WIDTH + 1:
+            raise MiddlewareError(f"wire string too short: {wire!r}")
+        state_char = wire[0]
+        if state_char not in "01":
+            raise MiddlewareError(f"bad queue-state flag {state_char!r}")
+        cpu_field = wire[1 : 1 + CPU_FIELD_WIDTH]
+        if not cpu_field.isdigit():
+            raise MiddlewareError(f"bad CPU field {cpu_field!r}")
+        jobid = wire[1 + CPU_FIELD_WIDTH : 1 + CPU_FIELD_WIDTH + JOBID_FIELD_WIDTH]
+        jobid = jobid.rstrip()
+        return cls(
+            stuck=state_char == "1",
+            needed_cpus=int(cpu_field),
+            stuck_jobid=jobid or NO_JOB,
+        )
+
+    @property
+    def has_job(self) -> bool:
+        return self.stuck_jobid != NO_JOB

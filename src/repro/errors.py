@@ -1,0 +1,43 @@
+"""Exception hierarchy shared across the package.
+
+Subsystems raise these (or subclasses defined next to the subsystem) so that
+callers can catch ``ReproError`` as the root of everything the simulation
+deliberately signals, distinct from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of all deliberate simulation-domain errors."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured inconsistently (bad sizes, missing parts)."""
+
+
+class StorageError(ReproError):
+    """Disk / partition / filesystem misuse (overlap, overflow, wrong type)."""
+
+
+class BootError(ReproError):
+    """The boot chain could not produce a running OS (no bootloader, bad
+    config, unbootable partition) — the simulated analogue of a machine
+    hanging at the boot prompt."""
+
+
+class NetworkError(ReproError):
+    """Network service failures (no DHCP lease, TFTP file missing, connection
+    refused)."""
+
+
+class SchedulerError(ReproError):
+    """Batch-system misuse (unknown job, malformed script, bad node spec)."""
+
+
+class DeploymentError(ReproError):
+    """Cluster deployment failed or would corrupt existing state."""
+
+
+class MiddlewareError(ReproError):
+    """dualboot-oscar control-plane errors."""

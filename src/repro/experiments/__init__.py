@@ -1,0 +1,57 @@
+"""The reproduction experiments (see DESIGN.md §4 for the index).
+
+Each module exposes ``run(seed=0, quick=False) -> ExperimentOutput``; the
+benchmark harness (``benchmarks/``) and the CLI both call these, so the
+numbers in ``bench_output.txt`` and ``repro-experiments`` always agree.
+
+``quick=True`` shrinks cluster sizes / horizons for CI-speed runs; the
+shapes of the results (who wins, by what factor) are stable across the
+two settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.metrics.report import Table
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentOutput"]
+
+
+@dataclass
+class ExperimentOutput:
+    """What one experiment produces."""
+
+    experiment_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: machine-readable headline values, asserted by tests and quoted in
+    #: EXPERIMENTS.md
+    headline: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            parts.append(table.render())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+
+#: experiment id -> module path (used by the CLI)
+ALL_EXPERIMENTS = {
+    "t1": "repro.experiments.table1",
+    "f2f3f4": "repro.experiments.figures_grub",
+    "f5f6f7f8": "repro.experiments.figures_detector",
+    "f9f10f14f15": "repro.experiments.figures_disks",
+    "e1": "repro.experiments.e1_switch_latency",
+    "e2": "repro.experiments.e2_utilization",
+    "e3": "repro.experiments.e3_bistable",
+    "e4": "repro.experiments.e4_admin_effort",
+    "e5": "repro.experiments.e5_control_cycle",
+    "e6": "repro.experiments.e6_mdcs",
+    "e7": "repro.experiments.e7_policy",
+    "e8": "repro.experiments.e8_resilience",
+}

@@ -1,0 +1,170 @@
+"""E3 — bi-stable vs mono-stable: the "flexibility and speed-up" claim.
+
+§III.C: "Keeping two job schedulers and both Windows and Linux server in
+bi-stable mode gives flexibility and speed-up, compared with other
+one-Linux-schedular hybrid cluster in mono-stable mode [5]."
+
+The scenario that separates the designs is *recurring* Windows demand:
+campaigns of short render-farm jobs arriving every couple of hours over a
+light Linux background.  The mono-stable cluster pays a Windows round
+trip (two reboots, ~7–8 node-minutes) on **every** booking, forever.  The
+bi-stable cluster pays boot costs only while its Windows pool grows;
+once grown, campaign after campaign lands on warm Windows nodes with
+zero boot cost — the amortisation the paper's design buys.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.compare import HybridSystem, MonostableSystem, run_scenario
+from repro.core.config import MiddlewareConfig
+from repro.core.policy import EagerPolicy
+from repro.experiments import ExperimentOutput
+from repro.metrics.report import Table
+from repro.simkernel import HOUR, MINUTE
+from repro.simkernel.rng import RngStreams
+from repro.workloads import MixedWorkload, WorkloadJob
+
+
+def _campaign_workload(
+    seed: int, campaigns: int, jobs_per_campaign: int, gap_s: float
+) -> List[WorkloadJob]:
+    rng = RngStreams(seed)
+    jobs: List[WorkloadJob] = []
+    for campaign in range(campaigns):
+        base = campaign * gap_s + 30 * MINUTE
+        for index in range(jobs_per_campaign):
+            jobs.append(
+                WorkloadJob(
+                    name=f"render-c{campaign:02d}-{index:02d}",
+                    os_name="windows",
+                    cores=4,
+                    runtime_s=rng.lognormal(
+                        f"c{campaign}:{index}", 8 * MINUTE, 0.3
+                    ),
+                    arrival_s=base + index * 20.0,
+                    tag=f"campaign-{campaign}",
+                )
+            )
+    background = MixedWorkload(
+        seed=seed + 1,
+        rate_per_hour=2.0,
+        windows_fraction=0.0,
+        horizon_s=campaigns * gap_s,
+        max_cores=4,
+        runtime_scale=0.2,
+    ).generate()
+    return sorted(jobs + background, key=lambda j: j.arrival_s)
+
+
+def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
+    num_nodes = 8 if quick else 16
+    campaigns = 4 if quick else 8
+    jobs_per_campaign = 6 if quick else 8
+    gap = 2 * HOUR
+    horizon = campaigns * gap + 1 * HOUR
+
+    output = ExperimentOutput(
+        experiment_id="E3",
+        title="Bi-stable vs mono-stable under recurring Windows campaigns",
+    )
+    jobs = _campaign_workload(seed, campaigns, jobs_per_campaign, gap)
+
+    systems = [
+        (
+            "bi-stable (paper FCFS)",
+            lambda: HybridSystem(
+                num_nodes=num_nodes, seed=seed, version=2,
+                config=MiddlewareConfig(version=2, check_cycle_s=10 * MINUTE),
+            ),
+        ),
+        (
+            "bi-stable (eager, §V)",
+            lambda: HybridSystem(
+                num_nodes=num_nodes, seed=seed, version=2,
+                config=MiddlewareConfig(
+                    version=2, check_cycle_s=10 * MINUTE,
+                    eager_detectors=True,
+                ),
+                policy=EagerPolicy(),
+                label_suffix="-eager",
+            ),
+        ),
+        ("mono-stable [5]", lambda: MonostableSystem(num_nodes=num_nodes, seed=seed)),
+    ]
+
+    table = Table(
+        ["system", "W turnaround 1st campaign (min)",
+         "W turnaround later campaigns (min)", "wasted core-h",
+         "mean wait W (min)", "switches"],
+        title=f"{campaigns} campaigns x {jobs_per_campaign} short Windows "
+        f"jobs on {num_nodes} nodes",
+    )
+    headline = {}
+    for label, factory in systems:
+        system = factory()
+        result = run_scenario(system, jobs, horizon)
+        records = {r.name: r for r in system.recorder.workload_jobs()}
+        first, later = [], []
+        for job in jobs:
+            record = records.get(job.name)
+            if record is None or record.end_time is None:
+                continue
+            if not job.tag.startswith("campaign"):
+                continue
+            turnaround = (record.end_time - record.submit_time) / 60.0
+            (first if job.tag == "campaign-0" else later).append(turnaround)
+        wasted_core_h = (
+            (result.utilization - result.useful_utilization)
+            * result.total_cores * result.horizon_s / 3600.0
+        )
+        table.add_row(
+            [
+                label,
+                float(np.mean(first)) if first else 0.0,
+                float(np.mean(later)) if later else 0.0,
+                wasted_core_h,
+                result.wait_windows.mean / 60.0,
+                result.switches,
+            ]
+        )
+        headline[label] = {
+            "first_campaign_turnaround_min": float(np.mean(first)),
+            "later_campaigns_turnaround_min": float(np.mean(later)),
+            "wasted_core_hours": wasted_core_h,
+        }
+    output.tables.append(table)
+
+    paper = headline["bi-stable (paper FCFS)"]
+    eager = headline["bi-stable (eager, §V)"]
+    mono = headline["mono-stable [5]"]
+    output.headline = {
+        **headline,
+        "bistable_warms_up": (
+            paper["later_campaigns_turnaround_min"]
+            < paper["first_campaign_turnaround_min"]
+        ),
+        "eager_bistable_beats_monostable_when_warm": (
+            eager["later_campaigns_turnaround_min"]
+            < mono["later_campaigns_turnaround_min"]
+        ),
+        "monostable_wastes_more_core_hours": (
+            mono["wasted_core_hours"] > paper["wasted_core_hours"]
+        ),
+    }
+    output.notes.append(
+        "the bi-stable cluster's first campaign pays the pool-growing "
+        "reboots; every later campaign lands on warm Windows nodes, while "
+        "mono-stable pays the double reboot on every booking forever"
+    )
+    output.notes.append(
+        "reproduction finding: with the PAPER's strict FCFS 'stuck' rule "
+        "the Windows pool grows one node per empty-queue event, so the "
+        "speed-up over (a generously modelled) mono-stable only "
+        "materialises with the §V eager extension — the published detector "
+        "rule, not the bi-stable architecture, is the bottleneck"
+    )
+    return output

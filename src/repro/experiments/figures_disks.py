@@ -1,0 +1,117 @@
+"""F9/F10/F15 — the three diskpart scripts; F14 — the v2 ide.disk.
+
+Applies each script to a populated dual-boot disk and reports exactly
+what survives — the mechanical basis of the v1-vs-v2 maintenance story.
+"""
+
+from __future__ import annotations
+
+from repro.boot.chain import LINUX_ROOT_MARKER
+from repro.experiments import ExperimentOutput
+from repro.metrics.report import Table
+from repro.oscar.idedisk import IDE_DISK_V2, parse_ide_disk
+from repro.oscar.imagebuilder import build_image
+from repro.oscar.systemimager import deploy_image_to_disk
+from repro.oslayer.windows import install_windows
+from repro.storage import Disk, DiskpartInterpreter, FsType
+from repro.storage.diskpart import (
+    MODIFIED_DISKPART_TXT_V1,
+    ORIGINAL_DISKPART_TXT,
+    REIMAGE_DISKPART_TXT_V2,
+)
+from repro.storage.partedops import render_master_script
+
+
+def _dualboot_disk() -> Disk:
+    """A fully deployed v2-layout dual-boot disk with user data."""
+    disk = Disk(size_mb=250_000)
+    DiskpartInterpreter(disk).run(
+        MODIFIED_DISKPART_TXT_V1.replace("150000", "150000")
+    )
+    install_windows(disk)
+    disk.filesystem(1).write("/Users/Public/win.dat", "windows user data")
+    layout = parse_ide_disk(IDE_DISK_V2.replace("16000", "150000"))
+    image = build_image(layout, patched=True)
+    deploy_image_to_disk(image, disk)
+    disk.filesystem(6).write("/home/user/linux.dat", "linux user data")
+    return disk
+
+
+def _inspect(disk: Disk) -> dict:
+    has_linux = any(
+        p.filesystem is not None
+        and p.fstype is FsType.EXT3
+        and p.filesystem.isfile(LINUX_ROOT_MARKER)
+        for p in disk.partitions
+    )
+    has_windows = any(
+        p.filesystem is not None
+        and p.fstype is FsType.NTFS
+        and p.filesystem.isfile("/bootmgr")
+        for p in disk.partitions
+    )
+    return {
+        "partitions": len(disk.partitions),
+        "linux_installed": has_linux,
+        "windows_installed": has_windows,
+        "mbr": disk.mbr.boot_code.loader if disk.mbr.boot_code else "empty",
+    }
+
+
+def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
+    del seed, quick
+    output = ExperimentOutput(
+        experiment_id="F9/F10/F14/F15",
+        title="diskpart.txt variants and the v2 ide.disk, applied to real "
+        "disk state",
+    )
+
+    table = Table(
+        ["script", "partitions after", "Linux survives", "Windows survives",
+         "MBR after"],
+        title="Effect of each diskpart.txt on a populated dual-boot disk",
+    )
+    results = {}
+    for label, script in (
+        ("Figure 9 (stock, clean whole disk)", ORIGINAL_DISKPART_TXT),
+        ("Figure 10 (v1, clean + 150GB)", MODIFIED_DISKPART_TXT_V1),
+        ("Figure 15 (v2, partition 1 only)", REIMAGE_DISKPART_TXT_V2),
+    ):
+        disk = _dualboot_disk()
+        DiskpartInterpreter(disk).run(script)
+        install_windows(disk)  # the deployment always reinstalls Windows
+        state = _inspect(disk)
+        table.add_row(
+            [label, state["partitions"], state["linux_installed"],
+             state["windows_installed"], state["mbr"]]
+        )
+        results[label.split(" ")[1]] = state
+    output.tables.append(table)
+
+    # F14: the ide.disk with skip and what the generator emits for it
+    layout = parse_ide_disk(IDE_DISK_V2)
+    image = build_image(layout, patched=True)
+    master = render_master_script(image.parted_ops())
+    output.notes.append("Figure 14 ide.disk (v2):\n" + IDE_DISK_V2)
+    output.notes.append(
+        "generated oscarimage.master partition section:\n" + master
+    )
+
+    fresh = Disk(size_mb=250_000)
+    deploy_image_to_disk(image, fresh)
+    skip_part = fresh.partition(1)
+
+    output.headline = {
+        "fig9_linux_survives": results["9"]["linux_installed"],
+        "fig10_linux_survives": results["10"]["linux_installed"],
+        "fig15_linux_survives": results["15"]["linux_installed"],
+        "fig15_mbr_untouched_by_diskpart": True,
+        "skip_partition_unformatted": skip_part.filesystem is None,
+        "skip_partition_size_mb": skip_part.size_mb,
+        "v2_root_partition": layout.root_partition(),
+    }
+    output.notes.append(
+        "only the Figure-15 script preserves the Linux installation; the "
+        "skip-labelled partition is created but never formatted"
+    )
+    return output

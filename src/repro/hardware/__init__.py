@@ -1,0 +1,27 @@
+"""Simulated machines: nodes, power/reboot timing, cluster assembly.
+
+The Eridani cluster of the paper — 16 re-used laboratory computers with
+Intel Core 2 Quad Q8200 processors (no VT-x, §II) and 250 GB disks — is
+the default hardware built by :func:`~repro.hardware.cluster.build_cluster`.
+Nodes own a disk, a NIC and firmware, and their power state machine drives
+the boot chain on every (re)boot; the wall-clock cost of an OS switch
+(experiment E1) is the sum of the :mod:`~repro.hardware.power` model's
+phases.
+"""
+
+from repro.hardware.cluster import Cluster, HeadNode, build_cluster
+from repro.hardware.node import ComputeNode, NodeState
+from repro.hardware.power import RebootTimingModel
+from repro.hardware.specs import HardwareSpec, INTEL_Q8200, VT_CAPABLE_XEON
+
+__all__ = [
+    "Cluster",
+    "ComputeNode",
+    "HardwareSpec",
+    "HeadNode",
+    "INTEL_Q8200",
+    "NodeState",
+    "RebootTimingModel",
+    "VT_CAPABLE_XEON",
+    "build_cluster",
+]

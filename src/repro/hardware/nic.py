@@ -1,0 +1,31 @@
+"""Network interface cards and MAC assignment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsvc.dhcp import normalize_mac
+
+#: Locally-administered OUI used for generated cluster MACs.
+_OUI = "02:00:5e"
+
+
+@dataclass(frozen=True)
+class Nic:
+    """A NIC with a fixed MAC address."""
+
+    mac: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mac", normalize_mac(self.mac))
+
+
+def mac_for_index(index: int) -> str:
+    """Deterministic MAC for node *index* (1-based).
+
+    >>> mac_for_index(1)
+    '02:00:5e:00:00:01'
+    """
+    if not 0 < index <= 0xFFFFFF:
+        raise ValueError(f"node index out of range: {index}")
+    return f"{_OUI}:{(index >> 16) & 0xFF:02x}:{(index >> 8) & 0xFF:02x}:{index & 0xFF:02x}"

@@ -1,0 +1,263 @@
+"""Compute-node power/boot state machine.
+
+A node owns its disk, NIC and firmware.  ``power_on`` / ``reboot`` run the
+boot chain (:func:`repro.boot.chain.resolve_boot`) and then wait out the
+:mod:`~repro.hardware.power` phases, so every OS switch pays the realistic
+3–5 minutes the paper reports.  When the OS comes up, its services start —
+that is the moment a scheduler sees the node join its pool.
+
+Boot failures leave the node in ``FAILED`` with a recorded reason: this is
+the "bricked until an admin intervenes" state that the v1 deployment flow
+can produce (GRUB destroyed by a Windows reinstall) and experiment E4
+counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import BootError, MiddlewareError
+from repro.boot.chain import BootEnvironment, BootOutcome, resolve_boot
+from repro.boot.firmware import Firmware
+from repro.hardware.nic import Nic
+from repro.hardware.power import RebootTimingModel
+from repro.hardware.specs import HardwareSpec
+from repro.oslayer.base import OSInstance
+from repro.oslayer.linux import LinuxOS
+from repro.oslayer.windows import WindowsOS
+from repro.simkernel import Simulator, Timeout
+from repro.simkernel.rng import RngStreams
+from repro.storage.disk import Disk
+
+
+class NodeState(enum.Enum):
+    OFF = "off"
+    BOOTING = "booting"
+    UP = "up"
+    SHUTTING_DOWN = "shutting_down"
+    FAILED = "failed"
+
+
+@dataclass
+class BootRecord:
+    """One (attempted) boot, for metrics and post-mortems."""
+
+    started_at: float
+    finished_at: Optional[float] = None
+    os_name: Optional[str] = None
+    via: Optional[str] = None
+    error: Optional[str] = None
+    cold: bool = False
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+# An OS factory builds the runtime for a successful boot outcome.
+OsFactory = Callable[["ComputeNode", BootOutcome], OSInstance]
+# A provisioner decorates a fresh OS instance (e.g. attaches pbs_mom).
+Provisioner = Callable[["ComputeNode", OSInstance], None]
+
+
+def _default_linux_factory(node: "ComputeNode", outcome: BootOutcome) -> OSInstance:
+    return LinuxOS.from_disk(node.name, node.disk, outcome.root_partition)
+
+
+def _default_windows_factory(node: "ComputeNode", outcome: BootOutcome) -> OSInstance:
+    return WindowsOS.from_disk(node.name, node.disk, outcome.root_partition)
+
+
+class ComputeNode:
+    """One dual-boot cluster machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        spec: HardwareSpec,
+        nic: Nic,
+        rng: RngStreams,
+        env: Optional[BootEnvironment] = None,
+        timing: Optional[RebootTimingModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        self.nic = nic
+        self.rng = rng
+        self.env = env if env is not None else BootEnvironment()
+        self.timing = timing if timing is not None else RebootTimingModel()
+        self.disk = Disk(spec.disk_mb, name=f"{name}:sda")
+        self.firmware = Firmware.disk_first()
+
+        self.state = NodeState.OFF
+        self.current_os: Optional[OSInstance] = None
+        self.boot_records: List[BootRecord] = []
+        self.os_factories: Dict[str, OsFactory] = {
+            "linux": _default_linux_factory,
+            "windows": _default_windows_factory,
+        }
+        self.provisioners: List[Provisioner] = []
+        #: deployment hook: generator run when the node PXE-boots an
+        #: installer image (receives node, outcome; may yield waitables)
+        self.installer_handler = None
+        self.on_os_up: List[Callable[["ComputeNode", OSInstance], None]] = []
+        self.on_os_down: List[Callable[["ComputeNode", OSInstance], None]] = []
+        self._reboot_requested = False
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def mac(self) -> str:
+        return self.nic.mac
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cores
+
+    @property
+    def os_name(self) -> Optional[str]:
+        """Kind of the currently-running OS, or ``None``."""
+        return self.current_os.kind if self.current_os is not None else None
+
+    @property
+    def last_boot(self) -> Optional[BootRecord]:
+        return self.boot_records[-1] if self.boot_records else None
+
+    @property
+    def failed(self) -> bool:
+        return self.state is NodeState.FAILED
+
+    # -- power control -----------------------------------------------------
+
+    def power_on(self):
+        """Cold start; returns the boot :class:`~repro.simkernel.Process`."""
+        if self.state is not NodeState.OFF and self.state is not NodeState.FAILED:
+            raise MiddlewareError(
+                f"{self.name}: power_on in state {self.state.value}"
+            )
+        return self.sim.spawn(self._boot(cold=True), name=f"boot:{self.name}")
+
+    def reboot(self):
+        """Graceful reboot; returns the reboot process."""
+        if self.state is not NodeState.UP:
+            raise MiddlewareError(f"{self.name}: reboot in state {self.state.value}")
+        return self.sim.spawn(self._reboot(), name=f"reboot:{self.name}")
+
+    def power_off(self) -> None:
+        """Hard power cut (admin action, e.g. before a bare-metal reimage).
+
+        Only valid when the node is UP, OFF or FAILED — cutting power mid
+        boot would leave a dangling boot process.
+        """
+        if self.state is NodeState.BOOTING or self.state is NodeState.SHUTTING_DOWN:
+            raise MiddlewareError(
+                f"{self.name}: power_off while {self.state.value}"
+            )
+        self._shutdown_os()
+        self.state = NodeState.OFF
+
+    def request_reboot(self, delay_s: float = 3.0) -> None:
+        """Asynchronous ``sudo reboot``: the actual reboot starts shortly.
+
+        Idempotent while one request is pending — a second ``reboot`` call
+        on a Unix box does not reboot twice.
+        """
+        if self._reboot_requested or self.state is not NodeState.UP:
+            return
+        self._reboot_requested = True
+
+        def fire() -> None:
+            self._reboot_requested = False
+            if self.state is NodeState.UP:
+                self.reboot()
+
+        self.sim.schedule(delay_s, fire)
+
+    # -- internals -----------------------------------------------------------
+
+    def _shutdown_os(self) -> None:
+        if self.current_os is not None:
+            os_instance = self.current_os
+            os_instance.stop()
+            for callback in self.on_os_down:
+                callback(self, os_instance)
+            self.current_os = None
+
+    def _reboot(self):
+        self.state = NodeState.SHUTTING_DOWN
+        self._shutdown_os()
+        yield from self._boot(cold=False)
+
+    def _boot(self, cold: bool):
+        record = BootRecord(started_at=self.sim.now, cold=cold)
+        self.boot_records.append(record)
+        self.state = NodeState.BOOTING
+        try:
+            outcome = resolve_boot(self.disk, self.firmware, self.mac, self.env)
+        except BootError as exc:
+            # the hang happens after POST; charge that much wall clock
+            phases = self.timing.draw(self.rng, self.name, "linux", cold=cold)
+            yield Timeout(phases.shutdown_s + phases.post_s)
+            self.state = NodeState.FAILED
+            record.finished_at = self.sim.now
+            record.error = str(exc)
+            return record
+
+        record.via = outcome.via
+        record.os_name = outcome.os_name
+
+        if outcome.os_name == "installer":
+            if self.installer_handler is None:
+                self.state = NodeState.FAILED
+                record.finished_at = self.sim.now
+                record.error = "installer boot with no deployment in progress"
+                return record
+            phases = self.timing.draw(
+                self.rng, self.name, "linux", via_pxe=True, cold=cold
+            )
+            yield Timeout(phases.total_s)
+            yield from self.installer_handler(self, outcome)
+            record.finished_at = self.sim.now
+            # the installer ends by rebooting into the deployed system
+            yield from self._boot(cold=False)
+            return record
+
+        phases = self.timing.draw(
+            self.rng,
+            self.name,
+            outcome.os_name,
+            via_pxe=outcome.via.startswith("pxe"),
+            cold=cold,
+        )
+        yield Timeout(phases.total_s)
+
+        factory = self.os_factories.get(outcome.os_name)
+        if factory is None:
+            self.state = NodeState.FAILED
+            record.finished_at = self.sim.now
+            record.error = f"no runtime factory for {outcome.os_name!r}"
+            return record
+        try:
+            os_instance = factory(self, outcome)
+        except BootError as exc:
+            self.state = NodeState.FAILED
+            record.finished_at = self.sim.now
+            record.error = str(exc)
+            return record
+        os_instance.context["request_reboot"] = self.request_reboot
+        os_instance.context["node"] = self
+        for provision in self.provisioners:
+            provision(self, os_instance)
+        self.current_os = os_instance
+        os_instance.start()
+        self.state = NodeState.UP
+        record.finished_at = self.sim.now
+        for callback in self.on_os_up:
+            callback(self, os_instance)
+        return record

@@ -1,0 +1,46 @@
+"""Hardware specifications.
+
+The virtualisation flag decides whether the virtualised baseline
+(:mod:`repro.compare.virtualized`) is even deployable — the paper's whole
+premise is that Eridani's Q8200 machines lack VT-x, so dual-boot is the
+only multi-platform option (§II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.geometry import TOTAL_DISK_MB_250GB
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """A machine model."""
+
+    model: str
+    cores: int
+    ram_mb: int
+    disk_mb: float
+    supports_virtualization: bool
+    #: mean BIOS POST duration, seconds (measured-feeling constants; the
+    #: per-node draw adds jitter around these)
+    post_mean_s: float = 30.0
+
+
+#: The Eridani compute node: re-used lab machines, no VT-x (§II).
+INTEL_Q8200 = HardwareSpec(
+    model="Intel Core 2 Quad Q8200",
+    cores=4,
+    ram_mb=8_192,
+    disk_mb=TOTAL_DISK_MB_250GB,
+    supports_virtualization=False,
+)
+
+#: A contemporary VT-capable machine (for the virtualisation baseline).
+VT_CAPABLE_XEON = HardwareSpec(
+    model="Intel Xeon E5520",
+    cores=8,
+    ram_mb=24_576,
+    disk_mb=TOTAL_DISK_MB_250GB,
+    supports_virtualization=True,
+)

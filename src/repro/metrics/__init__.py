@@ -1,0 +1,25 @@
+"""Measurement: event recording, utilisation, wait times, effort ledger.
+
+The benches import from here; everything is NumPy-vectorised where the
+profile says it matters (interval integration in
+:mod:`~repro.metrics.utilization`).
+"""
+
+from repro.metrics.effort import AdminEffortLedger, ManualStep
+from repro.metrics.recorder import ClusterRecorder, JobRecord, OsInterval
+from repro.metrics.report import Table
+from repro.metrics.utilization import usable_core_seconds, utilization_timeline
+from repro.metrics.waittime import WaitStats, wait_stats
+
+__all__ = [
+    "AdminEffortLedger",
+    "ClusterRecorder",
+    "JobRecord",
+    "ManualStep",
+    "OsInterval",
+    "Table",
+    "WaitStats",
+    "usable_core_seconds",
+    "utilization_timeline",
+    "wait_stats",
+]

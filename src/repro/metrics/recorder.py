@@ -1,0 +1,161 @@
+"""Event recording: OS occupancy intervals and job lifecycles.
+
+A :class:`ClusterRecorder` subscribes to node up/down callbacks and to
+both schedulers' observer hooks, accumulating:
+
+* :class:`OsInterval` — ``[start, end)`` spans during which a node was up
+  under a given OS (the raw material of the utilisation experiments);
+* :class:`JobRecord` — submit/start/end plus core count per job.
+
+``finalize(now)`` closes any open intervals at the horizon so integrals
+are well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hardware.node import ComputeNode
+from repro.oslayer.base import OSInstance
+
+
+@dataclass
+class OsInterval:
+    node: str
+    os_name: str
+    start: float
+    end: Optional[float] = None
+
+    def duration(self, horizon: float) -> float:
+        end = self.end if self.end is not None else horizon
+        return max(0.0, min(end, horizon) - self.start)
+
+
+@dataclass
+class JobRecord:
+    name: str
+    scheduler: str  # "pbs" | "winhpc"
+    cores: int
+    submit_time: float
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    tag: str = ""
+    final_state: str = ""
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_s(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def completed(self) -> bool:
+        return self.end_time is not None
+
+
+class ClusterRecorder:
+    """Collects intervals and job records for one scenario run."""
+
+    def __init__(self) -> None:
+        self.intervals: List[OsInterval] = []
+        self._open: Dict[str, OsInterval] = {}
+        self.jobs: List[JobRecord] = []
+        self._job_index: Dict[str, JobRecord] = {}
+        self.switch_count = 0
+
+    # -- node occupancy -----------------------------------------------------
+
+    def attach_node(self, node: ComputeNode) -> None:
+        node.on_os_up.append(self._node_up)
+        node.on_os_down.append(self._node_down)
+
+    def _node_up(self, node: ComputeNode, os_instance: OSInstance) -> None:
+        interval = OsInterval(
+            node=node.name, os_name=os_instance.kind, start=node.sim.now
+        )
+        previous = self._open.get(node.name)
+        if previous is not None and previous.os_name != os_instance.kind:
+            self.switch_count += 1
+        self._open[node.name] = interval
+        self.intervals.append(interval)
+
+    def _node_down(self, node: ComputeNode, os_instance: OSInstance) -> None:
+        interval = self._open.get(node.name)
+        if interval is not None and interval.end is None:
+            interval.end = node.sim.now
+
+    # -- jobs -------------------------------------------------------------------
+
+    def attach_pbs(self, server) -> None:
+        server.observers.append(
+            lambda event, job: self._pbs_event(event, job)
+        )
+
+    def attach_winhpc(self, scheduler) -> None:
+        scheduler.observers.append(
+            lambda event, job: self._win_event(event, job)
+        )
+
+    def _pbs_event(self, event: str, job) -> None:
+        key = f"pbs:{job.jobid}"
+        if event == "submitted":
+            record = JobRecord(
+                name=job.name, scheduler="pbs", cores=job.total_cores,
+                submit_time=job.qtime, tag=job.tag,
+            )
+            self._job_index[key] = record
+            self.jobs.append(record)
+        elif key in self._job_index:
+            record = self._job_index[key]
+            if event == "started":
+                record.start_time = job.start_time
+            elif event == "finished":
+                record.end_time = job.end_time
+                record.final_state = job.state.value
+
+    def _win_event(self, event: str, job) -> None:
+        key = f"win:{job.job_id}"
+        if event == "submitted":
+            record = JobRecord(
+                name=job.name, scheduler="winhpc",
+                cores=job.total_allocated_cores() or job.amount,
+                submit_time=job.submit_time, tag=job.tag,
+            )
+            self._job_index[key] = record
+            self.jobs.append(record)
+        elif key in self._job_index:
+            record = self._job_index[key]
+            if event == "started":
+                record.start_time = job.start_time
+                record.cores = job.total_allocated_cores()
+            elif event == "finished":
+                record.end_time = job.end_time
+                record.final_state = job.state.value
+
+    # -- finalisation -----------------------------------------------------------
+
+    def finalize(self, now: float) -> None:
+        """Close open intervals at the horizon (idempotent)."""
+        for interval in self._open.values():
+            if interval.end is None:
+                interval.end = now
+
+    # -- selections --------------------------------------------------------------
+
+    def jobs_for(self, scheduler: str, exclude_tag: str = "os-switch") -> List[JobRecord]:
+        """Workload jobs on one scheduler (switch jobs excluded by default)."""
+        return [
+            j
+            for j in self.jobs
+            if j.scheduler == scheduler and (not exclude_tag or j.tag != exclude_tag)
+        ]
+
+    def workload_jobs(self, exclude_tag: str = "os-switch") -> List[JobRecord]:
+        return [j for j in self.jobs if not exclude_tag or j.tag != exclude_tag]

@@ -1,0 +1,88 @@
+"""Utilisation math (NumPy-vectorised interval integration).
+
+The headline metric of experiment E2: of all the core-seconds the cluster
+*could* have delivered over the horizon, how many were spent running
+workload jobs?  Reboot windows show up naturally — a node mid-switch is
+up under no OS, contributing capacity to neither scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.recorder import JobRecord, OsInterval
+
+
+def usable_core_seconds(
+    intervals: Iterable[OsInterval],
+    cores_per_node: int,
+    horizon: float,
+    os_name: Optional[str] = None,
+) -> float:
+    """Core-seconds of *up* time over ``[0, horizon)`` (optionally per OS)."""
+    durations = [
+        iv.duration(horizon)
+        for iv in intervals
+        if os_name is None or iv.os_name == os_name
+    ]
+    if not durations:
+        return 0.0
+    return float(np.sum(np.asarray(durations)) * cores_per_node)
+
+
+def busy_core_seconds(
+    jobs: Iterable[JobRecord], horizon: float
+) -> float:
+    """Core-seconds consumed by started jobs, clipped to the horizon."""
+    starts, ends, cores = [], [], []
+    for job in jobs:
+        if job.start_time is None:
+            continue
+        starts.append(job.start_time)
+        ends.append(job.end_time if job.end_time is not None else horizon)
+        cores.append(job.cores)
+    if not starts:
+        return 0.0
+    start_arr = np.minimum(np.asarray(starts), horizon)
+    end_arr = np.minimum(np.asarray(ends), horizon)
+    return float(np.sum((end_arr - start_arr) * np.asarray(cores)))
+
+
+def cluster_utilization(
+    jobs: Iterable[JobRecord],
+    total_cores: int,
+    horizon: float,
+) -> float:
+    """Busy core-seconds / raw capacity (``total_cores * horizon``)."""
+    if horizon <= 0 or total_cores <= 0:
+        return 0.0
+    return busy_core_seconds(jobs, horizon) / (total_cores * horizon)
+
+
+def utilization_timeline(
+    jobs: Sequence[JobRecord],
+    horizon: float,
+    bin_s: float = 60.0,
+) -> np.ndarray:
+    """Busy-core count per time bin (vectorised sweep-line).
+
+    Returns an array of length ``ceil(horizon / bin_s)`` with the average
+    number of busy cores in each bin.
+    """
+    n_bins = int(np.ceil(horizon / bin_s))
+    if n_bins <= 0:
+        return np.zeros(0)
+    # accumulate core-seconds into bins via clipped overlap per job
+    edges = np.arange(n_bins + 1) * bin_s
+    busy = np.zeros(n_bins)
+    for job in jobs:
+        if job.start_time is None:
+            continue
+        start = job.start_time
+        end = job.end_time if job.end_time is not None else horizon
+        lo = np.clip(edges[:-1], start, end)
+        hi = np.clip(edges[1:], start, end)
+        busy += (hi - lo) * job.cores
+    return busy / bin_s

@@ -1,0 +1,25 @@
+"""Simulated LAN services.
+
+The cluster's private network, as the paper's system uses it:
+
+* :mod:`~repro.netsvc.network` — the switched segment: named hosts,
+  latency-delayed message delivery, TCP-style port listeners (the two
+  head-node communicator daemons talk over this, Figure 11 step 2);
+* :mod:`~repro.netsvc.dhcp` — MAC→IP leases plus the PXE options
+  (``next-server`` and ``filename``) that point nodes at the boot ROM;
+* :mod:`~repro.netsvc.tftp` — file service rooted at ``/tftpboot`` on the
+  Linux head node, serving the GRUB4DOS ROM and its per-MAC menu files.
+"""
+
+from repro.netsvc.dhcp import DhcpLease, DhcpServer
+from repro.netsvc.network import Host, Network, PortListener
+from repro.netsvc.tftp import TftpServer
+
+__all__ = [
+    "DhcpLease",
+    "DhcpServer",
+    "Host",
+    "Network",
+    "PortListener",
+    "TftpServer",
+]

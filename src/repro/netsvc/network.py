@@ -1,0 +1,143 @@
+"""The cluster LAN: hosts, datagrams, and TCP-style listeners.
+
+A :class:`Network` is a single switched segment (the paper's clusters hang
+off one head-node-connected switch).  Hosts are registered by name; message
+delivery is reliable and ordered with a small fixed latency.  Listeners
+queue inbound messages in a :class:`~repro.simkernel.resources.Store`, so
+server processes simply ``yield listener.get()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.simkernel import Simulator, Store
+
+#: Default one-way message latency on the simulated LAN (1 Gb campus switch).
+DEFAULT_LATENCY_S = 0.001
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered payload with its envelope."""
+
+    src: str
+    dst: str
+    port: int
+    payload: Any
+
+
+class Host:
+    """A named endpoint on the network (head node or compute node)."""
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.name = name
+        self.online = True
+
+    def send(self, dst: str, port: int, payload: Any) -> None:
+        """Send *payload* to ``dst:port`` (fire-and-forget, ordered)."""
+        self.network.deliver(self.name, dst, port, payload)
+
+    def listen(self, port: int) -> "PortListener":
+        """Open a listener on *port* (one per port per host)."""
+        return self.network.open_listener(self.name, port)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "up" if self.online else "down"
+        return f"<Host {self.name} {state}>"
+
+
+class PortListener:
+    """Inbound queue for one ``host:port``."""
+
+    def __init__(self, sim: Simulator, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._inbox = Store(sim, name=f"{host}:{port}")
+
+    def get(self):
+        """Event yielding the next :class:`Message` (blocks until one)."""
+        return self._inbox.get()
+
+    def try_get(self) -> Optional[Message]:
+        """Non-blocking receive."""
+        return self._inbox.try_get()
+
+    def __len__(self) -> int:
+        return len(self._inbox)
+
+    def _push(self, message: Message) -> None:
+        self._inbox.put(message)
+
+
+class Network:
+    """One switched LAN segment."""
+
+    def __init__(self, sim: Simulator, latency_s: float = DEFAULT_LATENCY_S) -> None:
+        if latency_s < 0:
+            raise NetworkError(f"latency must be >= 0, got {latency_s}")
+        self.sim = sim
+        self.latency_s = latency_s
+        self._hosts: Dict[str, Host] = {}
+        self._listeners: Dict[Tuple[str, int], PortListener] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- membership ---------------------------------------------------------
+
+    def register(self, name: str) -> Host:
+        """Attach a new host; names must be unique on the segment."""
+        if name in self._hosts:
+            raise NetworkError(f"host name {name!r} already on the network")
+        host = Host(self, name)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host {name!r}") from None
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    # -- listeners ------------------------------------------------------------
+
+    def open_listener(self, host: str, port: int) -> PortListener:
+        self.host(host)  # must exist
+        key = (host, port)
+        if key in self._listeners:
+            raise NetworkError(f"port {port} on {host!r} already bound")
+        listener = PortListener(self.sim, host, port)
+        self._listeners[key] = listener
+        return listener
+
+    def close_listener(self, listener: PortListener) -> None:
+        self._listeners.pop((listener.host, listener.port), None)
+
+    # -- delivery -------------------------------------------------------------
+
+    def deliver(self, src: str, dst: str, port: int, payload: Any) -> None:
+        """Queue delivery of one message after the segment latency.
+
+        Messages to unknown hosts/ports or offline hosts are dropped
+        silently (counted) — connectionless semantics; the communicators'
+        fixed-cycle retry (§IV.A.3) papers over losses exactly as the
+        paper's implementation does.
+        """
+        self.host(src)  # sender must exist
+        self.messages_sent += 1
+        message = Message(src=src, dst=dst, port=port, payload=payload)
+        self.sim.schedule(self.latency_s, self._arrive, message)
+
+    def _arrive(self, message: Message) -> None:
+        host = self._hosts.get(message.dst)
+        listener = self._listeners.get((message.dst, message.port))
+        if host is None or not host.online or listener is None:
+            self.messages_dropped += 1
+            return
+        listener._push(message)

@@ -1,0 +1,36 @@
+"""OSCAR cluster middleware: image building and node deployment.
+
+OSCAR (Open Source Cluster Application Resources) is the Linux-side
+middleware the paper builds on (CentOS 5.4/5.5 + OSCAR 5.1 beta 2).  The
+pieces modelled are the ones dualboot-oscar patches:
+
+* :mod:`~repro.oscar.idedisk` — the ``ide.disk`` partition-layout file,
+  including the v2 ``skip`` label (Figure 14);
+* :mod:`~repro.oscar.imagebuilder` + :mod:`~repro.oscar.systeminstaller` —
+  building the golden node image and its generated
+  ``oscarimage.master`` deployment script (whose ``mkpart``/``mkpartfs``
+  and ``rsync`` details force the v1 manual edits of §III.C.1);
+* :mod:`~repro.oscar.systemimager` — applying an image to a node disk;
+* :mod:`~repro.oscar.patches` — the v2 patch set enabling ``skip``;
+* :mod:`~repro.oscar.wizard` — the head-node install wizard that stands
+  up DHCP/TFTP/PBS and deploys every compute node.
+"""
+
+from repro.oscar.idedisk import IdeDiskEntry, IdeDiskLayout, parse_ide_disk
+from repro.oscar.imagebuilder import NodeImage, build_image
+from repro.oscar.patches import V2_PATCHES, apply_v2_patches
+from repro.oscar.systemimager import deploy_image_to_disk
+from repro.oscar.wizard import OscarInstallation, OscarWizard
+
+__all__ = [
+    "IdeDiskEntry",
+    "IdeDiskLayout",
+    "NodeImage",
+    "OscarInstallation",
+    "OscarWizard",
+    "V2_PATCHES",
+    "apply_v2_patches",
+    "build_image",
+    "deploy_image_to_disk",
+    "parse_ide_disk",
+]

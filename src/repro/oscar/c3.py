@@ -1,0 +1,107 @@
+"""C3 — Cluster Command & Control (``cexec``/``cpush``).
+
+C3 is part of the OSCAR package set the paper deploys (§III.A installs
+it on every image).  Administrators use it for exactly the kind of
+fan-out maintenance dualboot-oscar v1 demands — pushing control files to
+every node, checking state across the cluster — so it is provided here
+and exercised by the deployment tooling tests.
+
+Commands run against the *live Linux side* of the cluster: nodes that
+are down, in Windows, or mid-reboot are reported as unreachable, exactly
+like real ``cexec`` timing out on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import MiddlewareError
+from repro.hardware.cluster import Cluster
+from repro.hardware.node import ComputeNode, NodeState
+from repro.oslayer.shell import ShellResult, run_script
+
+
+@dataclass
+class CexecResult:
+    """Fan-out outcome: per-node shell results + unreachable nodes."""
+
+    results: Dict[str, ShellResult] = field(default_factory=dict)
+    unreachable: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unreachable and all(
+            r.ok for r in self.results.values()
+        )
+
+
+def _run_sync(os_instance, text: str) -> ShellResult:
+    """Drive a non-sleeping script to completion synchronously."""
+    gen = run_script(os_instance, text)
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise MiddlewareError(
+        "cexec commands must not sleep/wait (use a batch job for that)"
+    )
+
+
+class C3Tools:
+    """The admin's fan-out toolbox for one cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def _linux_nodes(self, nodes: Optional[List[ComputeNode]] = None):
+        targets = nodes if nodes is not None else self.cluster.compute_nodes
+        for node in targets:
+            reachable = (
+                node.state is NodeState.UP
+                and node.current_os is not None
+                and node.current_os.kind == "linux"
+            )
+            yield node, reachable
+
+    def cexec(
+        self, command: str, nodes: Optional[List[ComputeNode]] = None
+    ) -> CexecResult:
+        """Run one shell command line on every (reachable Linux) node."""
+        outcome = CexecResult()
+        for node, reachable in self._linux_nodes(nodes):
+            if not reachable:
+                outcome.unreachable.append(node.name)
+                continue
+            outcome.results[node.name] = _run_sync(node.current_os, command)
+        return outcome
+
+    def cpush(
+        self,
+        path: str,
+        content: str,
+        nodes: Optional[List[ComputeNode]] = None,
+    ) -> CexecResult:
+        """Copy a file onto every reachable Linux node."""
+        outcome = CexecResult()
+        for node, reachable in self._linux_nodes(nodes):
+            if not reachable:
+                outcome.unreachable.append(node.name)
+                continue
+            node.current_os.write(path, content)
+            outcome.results[node.name] = ShellResult(
+                exit_code=0, output=[f"pushed {path}"]
+            )
+        return outcome
+
+    def cget(
+        self, path: str, nodes: Optional[List[ComputeNode]] = None
+    ) -> Dict[str, Optional[str]]:
+        """Fetch a file from every node (None where unreachable/missing)."""
+        out: Dict[str, Optional[str]] = {}
+        for node, reachable in self._linux_nodes(nodes):
+            if not reachable or not node.current_os.exists(path):
+                out[node.name] = None
+            else:
+                out[node.name] = node.current_os.read(path)
+        return out

@@ -1,0 +1,197 @@
+"""Building the golden node image and its deployment recipe.
+
+``build_image`` turns an ``ide.disk`` layout plus package set into a
+:class:`NodeImage`.  The stock generator reproduces the v1 defects of
+§III.C.1 *by default*:
+
+1. it only supports the stock labels — a ``skip`` line is rejected unless
+   the v2 patches are applied;
+2. FAT partitions are created with ``mkpart`` (no filesystem) — rsync onto
+   them fails at deploy time until the admin replaces ``mkpart`` with
+   ``mkpartfs`` (:meth:`NodeImage.edit_fat_mkpartfs`);
+3. rsync lacks ``--modify-window=1 --size-only`` — FAT sync fails until
+   :meth:`NodeImage.edit_rsync_fat_flags`;
+4. fstab/umount lines are generated for *every* partition, including a
+   foreign NTFS one — post-install fails until
+   :meth:`NodeImage.edit_remove_foreign_lines`.
+
+Each ``edit_*`` call records a :class:`~repro.metrics.effort.ManualStep`,
+feeding experiment E4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.metrics.effort import AdminEffortLedger
+from repro.oscar.idedisk import SKIP_LABEL, STOCK_LABELS, IdeDiskLayout
+from repro.oscar.packages import OscarPackage, dualboot_package_files
+from repro.oslayer.linux import DEFAULT_KERNEL_VERSION
+from repro.storage.partedops import PartedOp
+from repro.storage.partition import PartitionKind
+
+
+@dataclass
+class NodeImage:
+    """A golden image plus its generated deployment recipe."""
+
+    name: str
+    layout: IdeDiskLayout
+    kernel_version: str = DEFAULT_KERNEL_VERSION
+    patched: bool = False
+    install_grub_mbr: bool = True
+    #: §III.C.1 manual-edit state (stock = defects present)
+    fat_mkpartfs: bool = False
+    rsync_fat_ok: bool = False
+    foreign_lines_removed: bool = False
+    #: extra file trees per mountpoint, merged onto the target at deploy
+    trees: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: GRUB menu.lst override (the dual-boot redirect); None = standalone
+    menu_lst: Optional[str] = None
+    packages: List[OscarPackage] = field(default_factory=list)
+
+    # -- defect inspection ----------------------------------------------------
+
+    @property
+    def foreign_partitions(self) -> List[int]:
+        """NTFS entries in the layout (the Windows hole of the v1 layout)."""
+        return [
+            e.partition_number
+            for e in self.layout.partitions
+            if e.label == "ntfs"
+        ]
+
+    @property
+    def has_fat(self) -> bool:
+        return self.layout.uses_label("fat32")
+
+    def pending_issues(self) -> List[str]:
+        """Deployment defects still present (empty = deploys cleanly)."""
+        issues = []
+        if self.has_fat and not self.fat_mkpartfs:
+            issues.append("fat-mkpart")
+        if self.has_fat and not self.rsync_fat_ok:
+            issues.append("rsync-fat")
+        if self.foreign_partitions and not self.foreign_lines_removed:
+            issues.append("foreign-fstab")
+        return issues
+
+    # -- the §III.C.1 manual edits ---------------------------------------------
+
+    def edit_fat_mkpartfs(self, ledger: Optional[AdminEffortLedger] = None) -> None:
+        """Manual edit 2: replace ``mkpart`` by ``mkpartfs`` for FAT."""
+        self.fat_mkpartfs = True
+        if ledger is not None:
+            ledger.record(
+                "edit-script",
+                "oscarimage.master: mkpart -> mkpartfs for the FAT partition",
+            )
+
+    def edit_rsync_fat_flags(self, ledger: Optional[AdminEffortLedger] = None) -> None:
+        """Manual edit 3: add ``--modify-window=1 --size-only`` to rsync."""
+        self.rsync_fat_ok = True
+        if ledger is not None:
+            ledger.record(
+                "edit-script",
+                "oscarimage.master: add modify-window=1 size-only to rsync",
+            )
+
+    def edit_remove_foreign_lines(
+        self, ledger: Optional[AdminEffortLedger] = None
+    ) -> None:
+        """Manual edit 4: drop the Windows partition's fstab/umount lines."""
+        self.foreign_lines_removed = True
+        if ledger is not None:
+            ledger.record(
+                "edit-script",
+                "oscarimage.master: remove Windows partition fstab/umount lines",
+            )
+
+    def apply_all_manual_edits(self, ledger: Optional[AdminEffortLedger] = None) -> None:
+        """Everything §III.C.1 requires (what the v1 admin had to redo after
+        every image rebuild)."""
+        if self.has_fat:
+            self.edit_fat_mkpartfs(ledger)
+            self.edit_rsync_fat_flags(ledger)
+        if self.foreign_partitions:
+            self.edit_remove_foreign_lines(ledger)
+
+    # -- deployment recipe ------------------------------------------------------
+
+    def parted_ops(self) -> List[PartedOp]:
+        """The partitioning section of the generated master script."""
+        ops: List[PartedOp] = []
+        extended_added = False
+        for entry in sorted(
+            self.layout.partitions, key=lambda e: e.partition_number
+        ):
+            number = entry.partition_number
+            if number >= 5 and not extended_added:
+                ops.append(PartedOp("mkpart", PartitionKind.EXTENDED, "raw", None))
+                extended_added = True
+            kind = (
+                PartitionKind.LOGICAL if number >= 5 else PartitionKind.PRIMARY
+            )
+            ops.append(self._op_for(entry.label, kind, entry.size_mb))
+        return ops
+
+    def _op_for(self, label: str, kind: PartitionKind, size: Optional[float]) -> PartedOp:
+        if label == "ext3":
+            return PartedOp("mkpartfs", kind, "ext3", size)
+        if label == "swap":
+            return PartedOp("mkpartfs", kind, "linux-swap", size)
+        if label == "fat32":
+            verb = "mkpartfs" if self.fat_mkpartfs else "mkpart"
+            return PartedOp(verb, kind, "fat32", size)
+        if label == "ntfs":
+            return PartedOp("mkpart", kind, "ntfs", size)  # Windows formats it
+        if label == SKIP_LABEL:
+            return PartedOp("mkpart", kind, "raw", size)  # reserved, untouched
+        raise ConfigurationError(f"no parted mapping for label {label!r}")
+
+
+def build_image(
+    layout: IdeDiskLayout,
+    name: str = "oscarimage",
+    patched: bool = False,
+    packages: Optional[List[OscarPackage]] = None,
+    kernel_version: str = DEFAULT_KERNEL_VERSION,
+    menu_lst: Optional[str] = None,
+    include_dualboot_files: bool = False,
+) -> NodeImage:
+    """Validate the layout against the patch level and assemble the image.
+
+    ``patched=False`` models stock OSCAR 5.1b2: the ``skip`` label is
+    unknown to systeminstaller and rejected here, which is why v1 had to
+    spell the Windows hole as a raw ``ntfs`` line and suffer the
+    fstab/umount fallout.
+    """
+    layout.validate()
+    for entry in layout.entries:
+        known = STOCK_LABELS + ((SKIP_LABEL,) if patched else ())
+        if entry.label not in known:
+            raise ConfigurationError(
+                f"systeminstaller: unknown disk format label {entry.label!r}"
+                + ("" if patched else " (v2 patches not applied)")
+            )
+    image = NodeImage(
+        name=name,
+        layout=layout,
+        kernel_version=kernel_version,
+        patched=patched,
+        install_grub_mbr=not patched,  # v2 relies on PXE, leaves the MBR alone
+        menu_lst=menu_lst,
+        packages=list(packages or []),
+    )
+    if include_dualboot_files:
+        fat_mounts = [
+            e.mountpoint
+            for e in layout.partitions
+            if e.label == "fat32" and e.mountpoint
+        ]
+        if fat_mounts:
+            for mountpoint, files in dualboot_package_files(fat_mounts[0]).items():
+                image.trees.setdefault(mountpoint, {}).update(files)
+    return image

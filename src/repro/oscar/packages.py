@@ -1,0 +1,60 @@
+"""The OSCAR package set.
+
+OSCAR composes a cluster from packages; the ones that matter to the paper
+are listed here.  ``dualboot-oscar`` is the paper's own package — its
+files (the pre-staged control menus and ``bootcontrol.pl``) are injected
+into the node image by :func:`dualboot_package_files`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Carter's script, reimplemented in repro.core.bootcontrol; the file text
+#: placed on the FAT partition is a marker for inventory purposes.
+BOOTCONTROL_PL_TEXT = """\
+#!/usr/bin/perl
+# bootcontrol.pl <controlmenu.lst path> <linux|windows>
+# Rewrites the GRUB control file's `default` to the entry whose title
+# ends with the requested OS tag.  (After M. Carter, IBM developerWorks,
+# 'Automate OS switching on a dual-boot Linux system', 2006.)
+"""
+
+
+@dataclass(frozen=True)
+class OscarPackage:
+    name: str
+    version: str
+    description: str
+
+
+CORE_PACKAGES: Tuple[OscarPackage, ...] = (
+    OscarPackage("sis", "4.2", "System Installation Suite (systemimager)"),
+    OscarPackage("c3", "5.1", "Cluster command & control"),
+    OscarPackage("torque", "2.3", "TORQUE resource manager (pbs_server/mom)"),
+    OscarPackage("maui", "3.2", "Maui scheduler (FIFO configuration)"),
+    OscarPackage("pfilter", "1.7", "Packet filtering"),
+    OscarPackage("ganglia", "3.1", "Monitoring"),
+)
+
+DUALBOOT_PACKAGE = OscarPackage(
+    "dualboot-oscar", "2.0", "Dual-boot controller and deployment patches"
+)
+
+
+def default_package_set(include_dualboot: bool = True) -> List[OscarPackage]:
+    packages = list(CORE_PACKAGES)
+    if include_dualboot:
+        packages.append(DUALBOOT_PACKAGE)
+    return packages
+
+
+def dualboot_package_files(control_mountpoint: str = "/boot/swap") -> Dict[str, Dict[str, str]]:
+    """Files the dualboot-oscar package drops into the node image.
+
+    Returns ``{mountpoint: {path: content}}`` — the FAT control partition
+    gets ``bootcontrol.pl``; the actual control menus are written by the
+    middleware at install time because they encode partition geometry.
+    """
+    return {control_mountpoint: {"/bootcontrol.pl": BOOTCONTROL_PL_TEXT}}

@@ -1,0 +1,39 @@
+"""The dualboot-oscar v2 patch set.
+
+§IV.B.1: "By patching ``systemimager`` and ``systeminstaller``, a new
+disk format label ``skip`` is enabled in OSCAR's disk image configure
+file".  In the model, patch level is a property of the
+:class:`~repro.oscar.wizard.OscarInstallation`; applying the patches
+flips it and records what was touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Patch:
+    """One patched component."""
+
+    component: str
+    summary: str
+
+
+V2_PATCHES: Tuple[Patch, ...] = (
+    Patch("systemimager", "teach the master-script generator the `skip` label"),
+    Patch("systeminstaller", "accept `skip` in ide.disk validation"),
+)
+
+
+def apply_v2_patches(installation) -> List[Patch]:
+    """Mark *installation* (an :class:`OscarInstallation`) as patched.
+
+    Idempotent; returns the patches newly applied.
+    """
+    if installation.patched:
+        return []
+    installation.patched = True
+    installation.applied_patches.extend(V2_PATCHES)
+    return list(V2_PATCHES)

@@ -1,0 +1,149 @@
+"""systemimager: apply a node image to a disk.
+
+The deploy sequence mirrors the generated ``oscarimage.master``:
+
+1. rewrite the partition table per the parted ops (``mkpartfs`` formats
+   and therefore destroys; ``mkpart`` re-creates the entry and — when the
+   geometry matches what was there before — the old contents survive,
+   which is precisely how the v1 flow preserves an already-installed
+   Windows partition and how v2's ``skip`` reservation works);
+2. rsync the image trees onto the mountable partitions (failing on
+   unformatted or flag-less FAT targets — the §III.C.1 defects);
+3. fail on generated fstab/umount lines for foreign partitions unless the
+   admin removed them;
+4. install kernel/initrd/GRUB files and (v1 only) GRUB into the MBR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import DeploymentError
+from repro.oscar.imagebuilder import NodeImage
+from repro.oslayer.linux import install_linux
+from repro.storage.disk import Disk
+from repro.storage.partedops import apply_parted_ops
+from repro.storage.partition import FsType, PartitionKind
+
+
+@dataclass
+class DeployReport:
+    """What one image application did."""
+
+    partitions_created: List[int] = field(default_factory=list)
+    partitions_preserved: List[int] = field(default_factory=list)
+    files_copied: int = 0
+    grub_mbr_installed: bool = False
+    destroyed_windows: bool = False
+
+
+def _snapshot(disk: Disk):
+    return {
+        p.number: (p.start_mb, p.size_mb, p.filesystem, p.active)
+        for p in disk.partitions
+    }
+
+
+def deploy_image_to_disk(image: NodeImage, disk: Disk) -> DeployReport:
+    """Run the master script against *disk*; raises on the v1 defects."""
+    report = DeployReport()
+    before = _snapshot(disk)
+    had_windows = any(
+        fs is not None and fs.fstype is FsType.NTFS and fs.isfile("/bootmgr")
+        for _, _, fs, _ in before.values()
+    )
+
+    # 1. repartition (parted edits the table; it does not touch the MBR
+    #    boot-code area)
+    for part in list(disk.partitions):
+        if disk.has_partition(part.number):
+            if part.kind is not PartitionKind.LOGICAL:
+                disk.delete_partition(part.number)
+    ops = image.parted_ops()
+    created = apply_parted_ops(disk, ops)
+    for part in created:
+        report.partitions_created.append(part.number)
+        if part.filesystem is None:  # mkpart — maybe preserve old contents
+            old = before.get(part.number)
+            if (
+                old is not None
+                and old[2] is not None
+                and abs(old[0] - part.start_mb) < 1e-6
+                and abs(old[1] - part.size_mb) < 1e-6
+            ):
+                # untouched region: contents and the boot flag survive
+                part.filesystem = old[2]
+                part.active = old[3]
+                report.partitions_preserved.append(part.number)
+
+    still_windows = any(
+        p.filesystem is not None
+        and p.fstype is FsType.NTFS
+        and p.filesystem.isfile("/bootmgr")
+        for p in disk.partitions
+    )
+    report.destroyed_windows = had_windows and not still_windows
+
+    # 2. rsync the image trees
+    mount_to_partition = {
+        e.mountpoint: e.partition_number
+        for e in image.layout.partitions
+        if e.mountpoint
+    }
+    for mountpoint, files in sorted(image.trees.items()):
+        number = mount_to_partition.get(mountpoint)
+        if number is None:
+            raise DeploymentError(
+                f"image tree for {mountpoint!r} has no matching ide.disk entry"
+            )
+        part = disk.partition(number)
+        if part.filesystem is None:
+            raise DeploymentError(
+                f"rsync: cannot populate {mountpoint} (/dev/sda{number}): "
+                "no filesystem (mkpart was used where mkpartfs was needed)"
+            )
+        if part.fstype is FsType.FAT and not image.rsync_fat_ok:
+            raise DeploymentError(
+                f"rsync: FAT sync onto {mountpoint} failed "
+                "(needs modify-window=1 size-only)"
+            )
+        for path, content in files.items():
+            part.filesystem.write(path, content)
+            report.files_copied += 1
+
+    # 3. generated fstab/umount lines for foreign partitions
+    if image.foreign_partitions and not image.foreign_lines_removed:
+        number = image.foreign_partitions[0]
+        raise DeploymentError(
+            f"oscarimage.master: umount /dev/sda{number} failed "
+            "(foreign Windows partition lines were not removed)"
+        )
+
+    # 4. OS installation
+    boot = image.layout.boot_partition()
+    root = image.layout.root_partition()
+    if boot is None:
+        raise DeploymentError("ide.disk defines no /boot partition")
+    swap = next(
+        (e.partition_number for e in image.layout.partitions if e.label == "swap"),
+        None,
+    )
+    extra = {
+        mp: num
+        for mp, num in mount_to_partition.items()
+        if mp not in ("/", "/boot")
+        and disk.partition(num).fstype in (FsType.EXT3, FsType.FAT)
+    }
+    install_linux(
+        disk,
+        boot_partition=boot,
+        root_partition=root,
+        swap_partition=swap,
+        extra_mounts=extra,
+        mbr_grub=image.install_grub_mbr,
+        kernel_version=image.kernel_version,
+        menu_lst=image.menu_lst,
+    )
+    report.grub_mbr_installed = image.install_grub_mbr
+    return report

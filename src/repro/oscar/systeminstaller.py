@@ -1,0 +1,32 @@
+"""systeminstaller: populate the image's base file tree from packages.
+
+The real tool installs RPMs into the image root; here each package
+contributes marker files (configs the rest of the simulation actually
+reads are written by the specific subsystems).  The tree ends up in
+``NodeImage.trees['/']`` and is rsynced onto every node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.oscar.packages import OscarPackage
+
+
+def build_base_tree(packages: List[OscarPackage]) -> Dict[str, str]:
+    """Root-filesystem files contributed by the package set."""
+    tree: Dict[str, str] = {
+        "/etc/hostname": "oscarnode",
+        "/etc/profile": "# OSCAR node profile\n",
+    }
+    for package in packages:
+        tree[f"/usr/share/oscar/packages/{package.name}/VERSION"] = (
+            f"{package.name} {package.version}\n{package.description}\n"
+        )
+        if package.name == "torque":
+            tree["/var/spool/torque/mom_priv/config"] = (
+                "$pbsserver eridani.qgg.hud.ac.uk\n$logevent 255\n"
+            )
+        if package.name == "c3":
+            tree["/etc/c3.conf"] = "cluster eridani { eridani:eridani }\n"
+    return tree

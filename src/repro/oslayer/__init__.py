@@ -1,0 +1,32 @@
+"""Simulated operating-system instances.
+
+An :class:`~repro.oslayer.base.OSInstance` is the *runtime* that exists
+while a node is up: a VFS routing paths onto the disk's partition
+filesystems (``/boot/swap`` really is the FAT control partition in v1 —
+that is where Figure 4's job script finds ``bootcontrol.pl``), a registry
+of services started at boot and stopped at shutdown, and a registry of
+executable "binaries" that the :mod:`~repro.oslayer.shell` interpreter
+dispatches to when a batch script invokes them.
+
+:mod:`~repro.oslayer.linux` and :mod:`~repro.oslayer.windows` provide the
+two concrete systems plus their *installers* — the functions that write a
+bootable installation onto a disk (markers, kernels, GRUB files, MBR code)
+with exactly the side effects the paper fights (a Windows install rewrites
+the MBR).
+"""
+
+from repro.oslayer.base import OSInstance, ServiceDef
+from repro.oslayer.linux import LinuxOS, install_linux
+from repro.oslayer.shell import ScriptError, run_script
+from repro.oslayer.windows import WindowsOS, install_windows
+
+__all__ = [
+    "LinuxOS",
+    "OSInstance",
+    "ScriptError",
+    "ServiceDef",
+    "WindowsOS",
+    "install_linux",
+    "install_windows",
+    "run_script",
+]

@@ -1,0 +1,156 @@
+"""OS runtime base: virtual filesystem, services, binaries.
+
+The VFS is a longest-prefix mount table over the disk's partition
+filesystems, so OS code and batch scripts address files by *path* and the
+right partition is found automatically — including the v1 subtlety that
+``/boot`` and ``/boot/swap`` are different partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, StorageError
+from repro.storage.filesystem import Filesystem, normalize
+
+
+@dataclass
+class ServiceDef:
+    """A service started when the OS boots and stopped at shutdown.
+
+    ``on_start`` / ``on_stop`` receive the owning :class:`OSInstance`; the
+    deployment layer uses these to wire scheduler membership (pbs_mom
+    reporting to the PBS server, the HPC node manager to the Windows HPC
+    scheduler) without the OS layer importing either scheduler.
+    """
+
+    name: str
+    on_start: Optional[Callable[["OSInstance"], None]] = None
+    on_stop: Optional[Callable[["OSInstance"], None]] = None
+
+
+class OSInstance:
+    """A running operating system on some machine.
+
+    Parameters
+    ----------
+    kind:
+        ``"linux"`` or ``"windows"``.
+    hostname:
+        The machine's network name.
+    mounts:
+        ``{mountpoint: filesystem}``; must include ``"/"``.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        hostname: str,
+        mounts: Dict[str, Filesystem],
+    ) -> None:
+        if "/" not in {normalize(m) for m in mounts}:
+            raise ConfigurationError(f"{hostname}: no root filesystem mounted")
+        self.kind = kind
+        self.hostname = hostname
+        # longest-prefix first so /boot/swap shadows /boot shadows /
+        self._mounts: List[Tuple[str, Filesystem]] = sorted(
+            ((normalize(mp), fs) for mp, fs in mounts.items()),
+            key=lambda item: len(item[0]),
+            reverse=True,
+        )
+        self.services: List[ServiceDef] = []
+        self.binaries: Dict[str, Callable[..., Any]] = {}
+        self.running = False
+        #: free-form context for services (schedulers stash handles here)
+        self.context: Dict[str, Any] = {}
+
+    # -- VFS -----------------------------------------------------------------
+
+    def resolve(self, path: str) -> Tuple[Filesystem, str]:
+        """Map an absolute path to ``(filesystem, path-within-filesystem)``."""
+        key = normalize(self._translate(path))
+        for mountpoint, fs in self._mounts:
+            if key == mountpoint or key.startswith(
+                mountpoint if mountpoint == "/" else mountpoint + "/"
+            ):
+                rel = key[len(mountpoint):] if mountpoint != "/" else key
+                return fs, rel or "/"
+        raise StorageError(f"{self.hostname}: unmounted path {path!r}")
+
+    @staticmethod
+    def _translate(path: str) -> str:
+        """Hook for OS-specific path syntax (drive letters on Windows)."""
+        return path
+
+    def read(self, path: str) -> str:
+        fs, rel = self.resolve(path)
+        return fs.read(rel)
+
+    def write(self, path: str, content: str) -> None:
+        fs, rel = self.resolve(path)
+        fs.write(rel, content)
+
+    def append(self, path: str, content: str) -> None:
+        fs, rel = self.resolve(path)
+        existing = fs.read(rel) if fs.isfile(rel) else ""
+        fs.write(rel, existing + content)
+
+    def exists(self, path: str) -> bool:
+        try:
+            fs, rel = self.resolve(path)
+        except StorageError:
+            return False
+        return fs.exists(rel)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Rename within one filesystem (the OS-switch primitive)."""
+        src_fs, src_rel = self.resolve(src)
+        dst_fs, dst_rel = self.resolve(dst)
+        if src_fs is not dst_fs:
+            raise StorageError(
+                f"cross-filesystem rename {src!r} -> {dst!r}"
+            )
+        src_fs.rename(src_rel, dst_rel)
+
+    def mkdir(self, path: str) -> None:
+        fs, rel = self.resolve(path)
+        fs.mkdir(rel)
+
+    # -- services ---------------------------------------------------------
+
+    def add_service(self, service: ServiceDef) -> None:
+        self.services.append(service)
+        if self.running and service.on_start is not None:
+            service.on_start(self)
+
+    def start(self) -> None:
+        """Bring the OS up: runs every service's ``on_start``."""
+        if self.running:
+            return
+        self.running = True
+        for service in self.services:
+            if service.on_start is not None:
+                service.on_start(self)
+
+    def stop(self) -> None:
+        """Shut the OS down: runs ``on_stop`` in reverse start order."""
+        if not self.running:
+            return
+        self.running = False
+        for service in reversed(self.services):
+            if service.on_stop is not None:
+                service.on_stop(self)
+
+    # -- binaries (dispatched by the shell interpreter) -----------------------
+
+    def register_binary(self, path: str, fn: Callable[..., Any]) -> None:
+        """Install an executable at *path* (shell scripts can invoke it)."""
+        self.binaries[normalize(self._translate(path))] = fn
+
+    def find_binary(self, path: str) -> Optional[Callable[..., Any]]:
+        return self.binaries.get(normalize(self._translate(path)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self.running else "stopped"
+        return f"<{type(self).__name__} {self.hostname} {state}>"

@@ -1,0 +1,165 @@
+"""CentOS-flavoured Linux: installer + runtime.
+
+The installer writes what GRUB and the kernel need to disk (kernel image,
+initrd, GRUB stage2/menu, ``/etc/fstab``) and — when asked, as OSCAR does
+in v1 — GRUB boot code into the MBR.  The runtime mounts partitions
+according to ``/etc/fstab``, which is also how
+:meth:`LinuxOS.from_disk` reconstructs the mount table after a boot.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import BootError, ConfigurationError
+from repro.boot.chain import GRUB_MENU_PATH
+from repro.oslayer.base import OSInstance
+from repro.storage.disk import Disk
+from repro.storage.filesystem import Filesystem
+from repro.storage.mbr import BootCode
+from repro.storage.partition import FsType
+
+DEFAULT_KERNEL_VERSION = "2.6.18-164.el5"
+DEFAULT_DISTRO = "CentOS release 5.5 (Final)"
+
+_FSTAB_DEV_RE = re.compile(r"^/dev/sd[a-z](\d+)$")
+
+
+@dataclass(frozen=True)
+class LinuxInstallation:
+    """Facts about an installed Linux system (returned by the installer)."""
+
+    boot_partition: int
+    root_partition: int
+    kernel_version: str
+
+    @property
+    def kernel_path(self) -> str:
+        return f"/vmlinuz-{self.kernel_version}"
+
+    @property
+    def initrd_path(self) -> str:
+        return f"/sc-initrd-{self.kernel_version}.gz"
+
+
+def standalone_menu_lst(
+    boot_partition: int, root_partition: int,
+    kernel_version: str = DEFAULT_KERNEL_VERSION,
+) -> str:
+    """A menu.lst that boots this Linux directly (no dual-boot redirect)."""
+    return (
+        "default=0\n"
+        "timeout=5\n"
+        "\n"
+        f"title CentOS-{kernel_version}-linux\n"
+        f"root (hd0,{boot_partition - 1})\n"
+        f"kernel /vmlinuz-{kernel_version} ro root=/dev/sda{root_partition} "
+        "enforcing=0\n"
+        f"initrd /sc-initrd-{kernel_version}.gz\n"
+    )
+
+
+def install_linux(
+    disk: Disk,
+    boot_partition: int,
+    root_partition: int,
+    swap_partition: Optional[int] = None,
+    extra_mounts: Optional[Dict[str, int]] = None,
+    mbr_grub: bool = True,
+    kernel_version: str = DEFAULT_KERNEL_VERSION,
+    menu_lst: Optional[str] = None,
+) -> LinuxInstallation:
+    """Install Linux onto already-formatted partitions.
+
+    Parameters
+    ----------
+    extra_mounts:
+        Additional ``{mountpoint: partition_number}`` entries written into
+        fstab — v1 mounts the FAT control partition at ``/boot/swap``.
+    mbr_grub:
+        Install GRUB stage1 into the MBR (v1 behaviour).  v2 leaves the
+        MBR alone and relies on PXE.
+    menu_lst:
+        Override the generated ``/grub/menu.lst`` (v1 writes the Figure-2
+        redirect here).
+    """
+    bootfs = disk.filesystem(boot_partition)
+    rootfs = disk.filesystem(root_partition)
+    if rootfs.fstype is not FsType.EXT3:
+        raise ConfigurationError(
+            f"Linux root must be ext3, got {rootfs.fstype.value}"
+        )
+
+    install = LinuxInstallation(boot_partition, root_partition, kernel_version)
+    bootfs.write(install.kernel_path, f"kernel-image-{kernel_version}")
+    bootfs.write(install.initrd_path, f"initrd-image-{kernel_version}")
+    bootfs.write("/grub/stage2", "grub-stage2")
+    bootfs.write("/grub/splash.xpm.gz", "splash")
+    bootfs.write(
+        GRUB_MENU_PATH,
+        menu_lst
+        if menu_lst is not None
+        else standalone_menu_lst(boot_partition, root_partition, kernel_version),
+    )
+
+    fstab_lines = [
+        f"/dev/sda{root_partition} / ext3 defaults 0 1",
+        f"/dev/sda{boot_partition} /boot ext3 defaults 0 2",
+    ]
+    if swap_partition is not None:
+        fstab_lines.append(f"/dev/sda{swap_partition} swap swap defaults 0 0")
+    for mountpoint, number in sorted((extra_mounts or {}).items()):
+        fstype = disk.filesystem(number).fstype.value
+        fstab_lines.append(
+            f"/dev/sda{number} {mountpoint} {fstype} defaults 0 0"
+        )
+    fstab_lines.append("/dev/shm - tmpfs /dev/shm defaults")
+    rootfs.write("/etc/fstab", "\n".join(fstab_lines) + "\n")
+    rootfs.write("/etc/redhat-release", DEFAULT_DISTRO + "\n")
+    rootfs.mkdir("/home")
+    rootfs.mkdir("/tmp")
+
+    if mbr_grub:
+        disk.install_mbr(BootCode(BootCode.GRUB, config_partition=boot_partition))
+    return install
+
+
+class LinuxOS(OSInstance):
+    """A running Linux system."""
+
+    def __init__(self, hostname: str, mounts: Dict[str, Filesystem]) -> None:
+        super().__init__("linux", hostname, mounts)
+
+    @classmethod
+    def from_disk(cls, hostname: str, disk: Disk, root_partition: int) -> "LinuxOS":
+        """Reconstruct the runtime from the installed fstab.
+
+        This is what "the kernel mounted its filesystems" means in the
+        model — a broken fstab (or missing partition) fails the boot.
+        """
+        rootfs = disk.filesystem(root_partition)
+        mounts: Dict[str, Filesystem] = {"/": rootfs}
+        try:
+            fstab = rootfs.read("/etc/fstab")
+        except Exception as exc:
+            raise BootError(f"{hostname}: unreadable /etc/fstab: {exc}") from exc
+        for line in fstab.splitlines():
+            fields = line.split()
+            if len(fields) < 3:
+                continue
+            device, mountpoint, fstype = fields[0], fields[1], fields[2]
+            m = _FSTAB_DEV_RE.match(device)
+            if not m or fstype in ("swap", "tmpfs", "nfs"):
+                continue
+            number = int(m.group(1))
+            if number == root_partition:
+                continue
+            try:
+                mounts[mountpoint] = disk.filesystem(number)
+            except Exception as exc:
+                raise BootError(
+                    f"{hostname}: fstab mount {mountpoint} on {device}: {exc}"
+                ) from exc
+        return cls(hostname, mounts)

@@ -1,0 +1,99 @@
+"""Windows Server 2008 R2: installer + runtime.
+
+The installer has the paper's crucial side effect: it **rewrites the MBR
+boot code** with the Microsoft loader and marks its partition active —
+"the reimaging of Windows partitions always rewrites MBR and damages GRUB
+which boots Linux" (§IV.A).  The simulation performs that damage
+unconditionally, exactly like the real installer; whether it *matters*
+depends on the firmware boot order (v1: fatal; v2: irrelevant).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.boot.windowsboot import WINDOWS_BOOT_MARKER, WINDOWS_SYSTEM_MARKER
+from repro.oslayer.base import OSInstance
+from repro.storage.disk import Disk
+from repro.storage.filesystem import Filesystem
+from repro.storage.partition import FsType
+
+DEFAULT_EDITION = "Windows Server 2008 R2 HPC Edition"
+
+_DRIVE_RE = re.compile(r"^([A-Za-z]):")
+
+
+@dataclass(frozen=True)
+class WindowsInstallation:
+    """Facts about an installed Windows system."""
+
+    system_partition: int
+    edition: str = DEFAULT_EDITION
+
+
+def install_windows(
+    disk: Disk,
+    system_partition: int = 1,
+    set_active: bool = True,
+    write_mbr: bool = True,
+    edition: str = DEFAULT_EDITION,
+) -> WindowsInstallation:
+    """Install Windows onto an NTFS-formatted partition.
+
+    ``write_mbr=False`` exists only for the counterfactual ablation bench —
+    the real installer offers no such mercy.
+    """
+    fs = disk.filesystem(system_partition)
+    if fs.fstype is not FsType.NTFS:
+        raise ConfigurationError(
+            f"Windows needs NTFS, got {fs.fstype.value} on partition "
+            f"{system_partition}"
+        )
+    fs.write(WINDOWS_BOOT_MARKER, "bootmgr")
+    fs.write(WINDOWS_SYSTEM_MARKER, edition)
+    fs.write("/Windows/System32/config/SYSTEM", "registry-hive")
+    fs.mkdir("/Users/Public")
+    fs.mkdir("/Program Files")
+    if set_active:
+        disk.set_active(system_partition)
+    if write_mbr:
+        from repro.storage.mbr import BootCode
+
+        disk.install_mbr(BootCode(BootCode.WINDOWS))
+    return WindowsInstallation(system_partition, edition)
+
+
+class WindowsOS(OSInstance):
+    """A running Windows system.
+
+    Paths may use drive-letter syntax (``C:\\Program Files\\...``); drive
+    letters map to mountpoints ``/c``, ``/d``, ... so the shared VFS
+    machinery applies unchanged.
+    """
+
+    def __init__(self, hostname: str, mounts: Dict[str, Filesystem]) -> None:
+        super().__init__("windows", hostname, mounts)
+
+    @staticmethod
+    def _translate(path: str) -> str:
+        text = path.replace("\\", "/")
+        m = _DRIVE_RE.match(text)
+        if m:
+            text = "/" + m.group(1).lower() + text[m.end():]
+        return text
+
+    @classmethod
+    def from_disk(
+        cls, hostname: str, disk: Disk, system_partition: int = 1
+    ) -> "WindowsOS":
+        """Runtime with ``C:`` on the system partition and the first FAT
+        partition (the v1 control share) as ``D:``."""
+        sysfs = disk.filesystem(system_partition)
+        mounts: Dict[str, Filesystem] = {"/": sysfs, "/c": sysfs}
+        fat = disk.find_by_fstype(FsType.FAT)
+        if fat:
+            mounts["/d"] = fat[0].filesystem
+        return cls(hostname, mounts)

@@ -1,0 +1,29 @@
+"""A TORQUE/PBS-like batch system (the OSCAR side of the paper).
+
+Faithful to the pieces dualboot-oscar touches:
+
+* job scripts with ``#PBS`` directives (Figure 4),
+* FIFO scheduling onto ``nodes=N:ppn=M`` core allocations — the paper's
+  daemons assume "first-come first-serve" (§V),
+* the **text output formats** of ``pbsnodes`` (Figure 7) and ``qstat -f``
+  (Figure 8), because the Perl detector *parses these strings*, exactly as
+  the original did ("PBS does not provide APIs ... Several Perl programs
+  had been written for parsing the output of PBS commands", §III.B.3),
+* node membership driven by the simulated pbs_mom service: a node that
+  reboots into Windows goes ``down`` here and ``Online`` over in
+  :mod:`repro.winhpc`.
+"""
+
+from repro.pbs.commands import PbsCommands
+from repro.pbs.job import JobState, PbsJob
+from repro.pbs.script import JobSpec, parse_pbs_script
+from repro.pbs.server import PbsServer
+
+__all__ = [
+    "JobSpec",
+    "JobState",
+    "PbsCommands",
+    "PbsJob",
+    "PbsServer",
+    "parse_pbs_script",
+]

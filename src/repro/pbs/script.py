@@ -1,0 +1,107 @@
+"""``#PBS`` directive parsing.
+
+Figure 4's job script carries the directives this parser understands::
+
+    #PBS -l nodes=1:ppn=4
+    #PBS -N release_1_node
+    #PBS -q default
+    #PBS -j oe
+    #PBS -o reboot_log.out
+    #PBS -r n
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SchedulerError
+
+_NODES_RE = re.compile(r"nodes=(\d+)(?::ppn=(\d+))?")
+_WALLTIME_RE = re.compile(r"walltime=(\d+):(\d+):(\d+)")
+
+
+@dataclass
+class JobSpec:
+    """Everything qsub needs to enqueue a job."""
+
+    name: str = "STDIN"
+    queue: str = "default"
+    nodes: int = 1
+    ppn: int = 1
+    walltime_s: Optional[float] = None
+    join_oe: bool = False
+    output_path: Optional[str] = None
+    rerunnable: bool = True
+    script: Optional[str] = None
+    runtime_s: Optional[float] = None
+    variables: Dict[str, str] = field(default_factory=dict)
+    tag: str = ""
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.ppn
+
+
+def parse_pbs_script(text: str) -> JobSpec:
+    """Extract a :class:`JobSpec` from a job script's ``#PBS`` lines.
+
+    Directive parsing stops at the first non-comment executable line,
+    mirroring qsub.
+    """
+    spec = JobSpec(script=text)
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#PBS"):
+            _apply_directive(spec, line[len("#PBS"):].strip())
+        elif not line.startswith("#"):
+            break
+    return spec
+
+
+def _apply_directive(spec: JobSpec, directive: str) -> None:
+    if not directive.startswith("-") or len(directive) < 2:
+        raise SchedulerError(f"malformed #PBS directive {directive!r}")
+    flag, _, value = directive.partition(" ")
+    flag = flag[1:]
+    value = value.strip()
+    if flag == "l":
+        _apply_resource_list(spec, value)
+    elif flag == "N":
+        if not value:
+            raise SchedulerError("#PBS -N needs a job name")
+        spec.name = value
+    elif flag == "q":
+        spec.queue = value or "default"
+    elif flag == "j":
+        spec.join_oe = value == "oe"
+    elif flag == "o":
+        spec.output_path = value
+    elif flag == "r":
+        spec.rerunnable = value.lower() != "n"
+    elif flag == "v":
+        for pair in value.split(","):
+            key, _, val = pair.partition("=")
+            spec.variables[key.strip()] = val.strip()
+    else:
+        raise SchedulerError(f"unsupported #PBS flag -{flag}")
+
+
+def _apply_resource_list(spec: JobSpec, value: str) -> None:
+    matched = False
+    m = _NODES_RE.search(value)
+    if m:
+        spec.nodes = int(m.group(1))
+        if m.group(2):
+            spec.ppn = int(m.group(2))
+        matched = True
+    w = _WALLTIME_RE.search(value)
+    if w:
+        hours, minutes, seconds = (int(g) for g in w.groups())
+        spec.walltime_s = hours * 3600.0 + minutes * 60.0 + seconds
+        matched = True
+    if not matched:
+        raise SchedulerError(f"unparseable resource list {value!r}")

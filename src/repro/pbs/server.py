@@ -1,0 +1,300 @@
+"""The PBS server: queue, node table, job lifecycle.
+
+One object plays ``pbs_server`` + ``pbs_sched`` + the moms' supervision:
+
+* jobs enter via :meth:`qsub` (spec or raw ``#PBS`` script text);
+* scheduling is event-driven strict FCFS (see :mod:`repro.pbs.scheduler`);
+* each running job is a simulation process: either a timed payload or a
+  script executed on the first allocated node's OS — the latter is how
+  Figure 4's OS-switch job really reboots a machine here;
+* a node going down (reboot!) interrupts every job process on it,
+  mirroring TORQUE killing jobs when a mom disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SchedulerError
+from repro.oslayer.shell import run_script
+from repro.pbs.job import JobState, PbsJob
+from repro.pbs.nodes import PbsNodeRecord, PbsNodeState
+from repro.pbs.scheduler import allocate_fifo
+from repro.pbs.script import parse_pbs_script
+from repro.simkernel import Interrupt, Simulator, Timeout
+
+#: Exit status TORQUE reports for jobs killed by node loss / qdel.
+KILLED_EXIT_STATUS = 271
+
+#: Exit status for jobs killed at their walltime limit (128 + SIGTERM).
+WALLTIME_EXIT_STATUS = 143
+
+
+@dataclass
+class MomHandle:
+    """The server's line to a node's pbs_mom: how to run a script there."""
+
+    hostname: str
+    os_instance: object  # OSInstance; typed loosely to avoid layering back-refs
+
+
+class PbsServer:
+    """A TORQUE-like server for one cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server_name: str = "eridani.qgg.hud.ac.uk",
+        first_jobid: int = 1180,
+    ) -> None:
+        self.sim = sim
+        self.server_name = server_name
+        self.nodes: Dict[str, PbsNodeRecord] = {}
+        self.jobs: Dict[str, PbsJob] = {}
+        self.queue_order: List[str] = []
+        self._moms: Dict[str, MomHandle] = {}
+        self._runners: Dict[str, object] = {}  # jobid -> Process
+        self._seq = first_jobid
+        #: observers: fn(event_name, job) with events submitted/started/finished
+        self.observers: List[Callable[[str, PbsJob], None]] = []
+
+    # -- node table ------------------------------------------------------------
+
+    def fqdn(self, short: str) -> str:
+        """``enode01`` → ``enode01.eridani.qgg.hud.ac.uk``."""
+        return short if "." in short else f"{short}.{self.server_name}"
+
+    def create_node(
+        self, hostname: str, np: int, properties: Optional[List[str]] = None
+    ) -> PbsNodeRecord:
+        """Static registration (the OSCAR nodes file)."""
+        fqdn = self.fqdn(hostname)
+        if fqdn in self.nodes:
+            raise SchedulerError(f"node {fqdn} already defined")
+        record = PbsNodeRecord(hostname=fqdn, np=np)
+        if properties:
+            record.properties = list(properties)
+        self.nodes[fqdn] = record
+        return record
+
+    def node(self, hostname: str) -> PbsNodeRecord:
+        fqdn = self.fqdn(hostname)
+        try:
+            return self.nodes[fqdn]
+        except KeyError:
+            raise SchedulerError(f"unknown node {fqdn}") from None
+
+    def node_up(self, hostname: str, os_instance: object = None) -> None:
+        """A pbs_mom reported in: the node joins the free pool."""
+        record = self.node(hostname)
+        record.mark_up(self.sim.now)
+        if os_instance is not None:
+            self._moms[record.hostname] = MomHandle(record.hostname, os_instance)
+        self._try_schedule()
+
+    def node_down(self, hostname: str) -> None:
+        """The mom vanished (reboot/crash): kill its jobs, mark it down."""
+        record = self.node(hostname)
+        victims = record.jobs_here()
+        record.mark_down(self.sim.now)
+        self._moms.pop(record.hostname, None)
+        for jobid in victims:
+            runner = self._runners.get(jobid)
+            if runner is not None:
+                runner.interrupt("node down")
+
+    # -- job intake ----------------------------------------------------------
+
+    def qsub(self, spec_or_script, owner: str = "sliang") -> str:
+        """Submit a job; returns the jobid."""
+        spec = (
+            parse_pbs_script(spec_or_script)
+            if isinstance(spec_or_script, str)
+            else spec_or_script
+        )
+        if spec.nodes < 1 or spec.ppn < 1:
+            raise SchedulerError(
+                f"bad resource request nodes={spec.nodes} ppn={spec.ppn}"
+            )
+        max_np = max((r.np for r in self.nodes.values()), default=0)
+        if spec.ppn > max_np:
+            raise SchedulerError(
+                f"ppn={spec.ppn} exceeds the largest node ({max_np} cores)"
+            )
+        jobid = f"{self._seq}.{self.server_name}"
+        self._seq += 1
+        job = PbsJob(
+            jobid=jobid,
+            name=spec.name,
+            owner=f"{owner}@{self.server_name}" if "@" not in owner else owner,
+            nodes=spec.nodes,
+            ppn=spec.ppn,
+            queue=spec.queue,
+            qtime=self.sim.now,
+            runtime_s=spec.runtime_s,
+            walltime_s=spec.walltime_s,
+            script=spec.script,
+            rerunnable=spec.rerunnable,
+            join_oe=spec.join_oe,
+            output_path=spec.output_path,
+            variables=dict(spec.variables),
+            tag=spec.tag,
+        )
+        self.jobs[jobid] = job
+        self.queue_order.append(jobid)
+        self._notify("submitted", job)
+        self._try_schedule()
+        return jobid
+
+    def qhold(self, jobid: str) -> None:
+        """Hold a queued job: it keeps its queue position but is skipped
+        by the scheduler until released (TORQUE ``qhold``)."""
+        job = self._get(jobid)
+        if job.state is not JobState.QUEUED:
+            raise SchedulerError(
+                f"{jobid}: only queued jobs can be held "
+                f"(state {job.state.value})"
+            )
+        job.state = JobState.HELD
+
+    def qrls(self, jobid: str) -> None:
+        """Release a held job back into the queue (TORQUE ``qrls``)."""
+        job = self._get(jobid)
+        if job.state is not JobState.HELD:
+            raise SchedulerError(f"{jobid} is not held")
+        job.state = JobState.QUEUED
+        self._try_schedule()
+
+    def qdel(self, jobid: str) -> None:
+        """Cancel a job (queued: dropped; running: killed)."""
+        job = self._get(jobid)
+        if job.state in (JobState.QUEUED, JobState.HELD):
+            self.queue_order.remove(jobid)
+            self._finish(job, KILLED_EXIT_STATUS)
+        elif job.state is JobState.RUNNING:
+            runner = self._runners.get(jobid)
+            if runner is not None:
+                runner.interrupt("qdel")
+        else:
+            raise SchedulerError(f"{jobid} is not active (state {job.state.value})")
+
+    # -- queries ----------------------------------------------------------------
+
+    def _get(self, jobid: str) -> PbsJob:
+        try:
+            return self.jobs[jobid]
+        except KeyError:
+            raise SchedulerError(f"unknown job {jobid}") from None
+
+    def queued_jobs(self) -> List[PbsJob]:
+        """Queued jobs in FIFO order."""
+        return [self.jobs[j] for j in self.queue_order]
+
+    def running_jobs(self) -> List[PbsJob]:
+        return [
+            j for j in self.jobs.values() if j.state in (JobState.RUNNING, JobState.EXITING)
+        ]
+
+    def active_jobs(self) -> List[PbsJob]:
+        return self.queued_jobs() + self.running_jobs()
+
+    def free_cores(self) -> int:
+        return sum(r.available_cores for r in self.nodes.values())
+
+    def up_nodes(self) -> List[PbsNodeRecord]:
+        return [
+            r
+            for r in self.nodes.values()
+            if r.state not in (PbsNodeState.DOWN, PbsNodeState.OFFLINE)
+        ]
+
+    # -- scheduling & execution -------------------------------------------------
+
+    def _try_schedule(self) -> None:
+        started = True
+        while started:
+            started = False
+            for jobid in self.queue_order:
+                job = self.jobs[jobid]
+                if job.state is JobState.HELD:
+                    continue  # held jobs keep their place but do not block
+                placement = allocate_fifo(job, self.nodes)
+                if placement is None:
+                    return  # strict FCFS head-of-line blocking
+                self.queue_order.remove(jobid)
+                self._start(job, placement)
+                started = True
+                break
+
+    def _start(self, job: PbsJob, placement) -> None:
+        job.state = JobState.RUNNING
+        job.start_time = self.sim.now
+        for record, count in placement:
+            cores = record.allocate(job.jobid, count)
+            for core in cores:
+                job.exec_slots.append((record.hostname, core))
+        self._runners[job.jobid] = self.sim.spawn(
+            self._run(job), name=f"pbsjob:{job.jobid}"
+        )
+        self._notify("started", job)
+
+    def _run(self, job: PbsJob):
+        # walltime enforcement: an armed timer interrupts the runner
+        walltime_entry = None
+        if job.walltime_s is not None:
+            runner_id = job.jobid
+
+            def enforce(jid=runner_id):
+                runner = self._runners.get(jid)
+                if runner is not None:
+                    runner.interrupt("walltime")
+
+            walltime_entry = self.sim.schedule(job.walltime_s, enforce)
+        try:
+            if job.script is not None:
+                result = yield from self._run_script_payload(job)
+                exit_status = result.exit_code if result is not None else 1
+            else:
+                yield Timeout(job.runtime_s if job.runtime_s is not None else 0.0)
+                exit_status = 0
+        except Interrupt as interrupt:
+            exit_status = (
+                WALLTIME_EXIT_STATUS
+                if interrupt.cause == "walltime"
+                else KILLED_EXIT_STATUS
+            )
+        if walltime_entry is not None:
+            self.sim.cancel(walltime_entry)
+        self._finish(job, exit_status)
+
+    def _run_script_payload(self, job: PbsJob):
+        first_host = job.exec_slots[0][0]
+        mom = self._moms.get(first_host)
+        if mom is None:
+            return None
+        env = {
+            "PBS_JOBID": job.jobid,
+            "PBS_O_HOME": f"/home/{job.owner.split('@')[0]}",
+            "PBS_O_LANG": "en_US.UTF-8",
+            "PBS_JOBNAME": job.name,
+            **job.variables,
+        }
+        result = yield from run_script(mom.os_instance, job.script, env=env)
+        return result
+
+    def _finish(self, job: PbsJob, exit_status: int) -> None:
+        job.state = JobState.COMPLETED
+        job.end_time = self.sim.now
+        job.exit_status = exit_status
+        for record in self.nodes.values():
+            record.release(job.jobid)
+        self._runners.pop(job.jobid, None)
+        if job.on_complete is not None:
+            job.on_complete(job)
+        self._notify("finished", job)
+        self._try_schedule()
+
+    def _notify(self, event: str, job: PbsJob) -> None:
+        for observer in self.observers:
+            observer(event, job)

@@ -1,0 +1,177 @@
+"""The simulator: clock + deterministic event queue.
+
+The queue is a binary heap of ``(time, sequence, callback, args)`` entries.
+The monotonically increasing sequence number breaks time ties so that events
+scheduled first fire first — this makes every simulation in the test suite
+and the benchmark harness bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.simkernel.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running a dead kernel)."""
+
+
+class _Entry:
+    """A scheduled callback.  Cancellation flips ``alive`` (lazy deletion)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "alive")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.alive = True
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Discrete-event simulator with a deterministic heap-based event queue.
+
+    The public surface is intentionally small:
+
+    * :meth:`schedule` / :meth:`schedule_at` — enqueue a raw callback,
+    * :meth:`spawn` — start a generator process
+      (see :class:`repro.simkernel.process.Process`),
+    * :meth:`event` — create an :class:`~repro.simkernel.events.Event`,
+    * :meth:`run` / :meth:`step` — advance time.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> sim.schedule(5.0, hits.append, 5)
+    <repro.simkernel.kernel._Entry ...>
+    >>> sim.run()
+    >>> (sim.now, hits)
+    (5.0, [5])
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[_Entry] = []
+        self._seq: int = 0
+        self._processes_started: int = 0
+        self._events_executed: int = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of queue entries executed so far (diagnostics)."""
+        return self._events_executed
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> _Entry:
+        """Schedule ``fn(*args)`` to run *delay* seconds from now.
+
+        Returns an opaque handle whose ``alive`` flag can be cleared via
+        :meth:`cancel` to revoke the callback.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s into the past")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> _Entry:
+        """Schedule ``fn(*args)`` at absolute simulation *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        entry = _Entry(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    @staticmethod
+    def cancel(entry: _Entry) -> None:
+        """Revoke a scheduled callback (no-op if it already ran)."""
+        entry.alive = False
+
+    # -- events & processes ------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    def spawn(self, generator: Generator, name: str = "") -> "Process":
+        """Start a generator as a simulation process.
+
+        The process begins executing at the current time (as a queued step,
+        not synchronously). Returns the :class:`Process`, which is itself
+        waitable.
+        """
+        from repro.simkernel.process import Process  # local: avoid cycle
+
+        self._processes_started += 1
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float) -> Event:
+        """An event that triggers after *delay* seconds (callback style)."""
+        ev = self.event(name=f"timeout({delay})")
+        self.schedule(delay, ev.succeed)
+        return ev
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next live queue entry.  Returns ``False`` when empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if not entry.alive:
+                continue
+            self._now = entry.time
+            self._events_executed += 1
+            entry.fn(*entry.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock would pass *until*.
+
+        When *until* is given, the clock is left exactly at *until* even if
+        the queue drained earlier, so back-to-back ``run(until=...)`` calls
+        behave like a progressing wall clock.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            head = self._queue[0]
+            if not head.alive:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > until:
+                break
+            self.step()
+        self._now = until
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and not self._queue[0].alive:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Simulator t={self._now:.3f} queued={len(self._queue)} "
+            f"executed={self._events_executed}>"
+        )

@@ -1,0 +1,123 @@
+"""Shared-resource primitives: counted resources and object stores.
+
+These are the classic SimPy-style primitives, used by the network layer
+(link serialisation) and by tests.  Schedulers in :mod:`repro.pbs` and
+:mod:`repro.winhpc` manage node allocation themselves (they need richer
+placement logic than a counter), but build on the same event machinery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
+
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.kernel import Simulator
+
+
+class Resource:
+    """A counted resource with FIFO queueing.
+
+    ``request()`` returns an :class:`Event` that triggers once a slot is
+    granted; the holder must call :meth:`release` exactly once per grant.
+
+    Example (inside a process)::
+
+        grant = resource.request()
+        yield grant
+        try:
+            yield Timeout(work_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-granted slots."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Ask for one slot; the returned event triggers when granted."""
+        ev = self.sim.event(name=f"request:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one slot, waking the longest-waiting requester if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter: in_use is unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO store of Python objects with blocking ``get``.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    oldest item once one is available.  Used for mailbox-style communication
+    (e.g. the simulated TCP sockets deliver received messages via a Store).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit *item*; wakes the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that triggers with the next item (immediately if nonempty)."""
+        ev = self.sim.event(name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: pop and return the oldest item, or ``None``."""
+        if self._items:
+            return self._items.popleft()
+        return None

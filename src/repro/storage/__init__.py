@@ -1,0 +1,34 @@
+"""Simulated block storage: disks, MBR, partitions, filesystems.
+
+This substrate is deliberately mechanical: ``diskpart clean`` really
+destroys every partition, installing Windows really rewrites the MBR boot
+code, and GRUB really becomes unbootable afterwards.  The v1-vs-v2
+administration-effort experiment (E4 in DESIGN.md) relies on these failure
+modes *emerging* from the model rather than being scripted.
+
+Sizes are in **megabytes** throughout, matching the units the paper uses in
+``ide.disk`` (Figure 14) and ``diskpart.txt`` (``size=150000`` for 150 GB,
+Figure 10).
+"""
+
+from repro.storage.disk import Disk
+from repro.storage.diskpart import DiskpartInterpreter, parse_diskpart_script
+from repro.storage.filesystem import Filesystem
+from repro.storage.geometry import GB, MB, TOTAL_DISK_MB_250GB
+from repro.storage.mbr import MBR, BootCode
+from repro.storage.partition import FsType, Partition, PartitionKind
+
+__all__ = [
+    "BootCode",
+    "Disk",
+    "DiskpartInterpreter",
+    "Filesystem",
+    "FsType",
+    "GB",
+    "MB",
+    "MBR",
+    "Partition",
+    "PartitionKind",
+    "TOTAL_DISK_MB_250GB",
+    "parse_diskpart_script",
+]

@@ -1,0 +1,210 @@
+"""The disk: an MBR plus a partition table with MBR numbering rules.
+
+Primary and extended partitions take numbers 1–4; logical partitions live
+inside the (single) extended container and are numbered from 5 in creation
+order, exactly the numbering the paper's listings rely on (``/dev/sda5``
+swap, ``/dev/sda6`` FAT control partition as GRUB ``(hd0,5)``,
+``/dev/sda7`` root in Figures 2–3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import StorageError
+from repro.storage.filesystem import Filesystem
+from repro.storage.mbr import MBR, BootCode
+from repro.storage.partition import FsType, Partition, PartitionKind
+
+_PRIMARY_NUMBERS = (1, 2, 3, 4)
+_FIRST_LOGICAL = 5
+
+
+class Disk:
+    """A simulated hard disk.
+
+    >>> d = Disk(size_mb=250_000)
+    >>> win = d.create_partition(150_000, PartitionKind.PRIMARY)
+    >>> win.number
+    1
+    >>> _ = win.format(FsType.NTFS, label="Node")
+    """
+
+    def __init__(self, size_mb: float, name: str = "sda") -> None:
+        if size_mb <= 0:
+            raise StorageError(f"disk size must be positive, got {size_mb}")
+        self.size_mb = float(size_mb)
+        self.name = name
+        self.mbr = MBR()
+        self._partitions: Dict[int, Partition] = {}
+        self._next_logical = _FIRST_LOGICAL
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def partitions(self) -> List[Partition]:
+        """All partitions sorted by number."""
+        return [self._partitions[n] for n in sorted(self._partitions)]
+
+    def partition(self, number: int) -> Partition:
+        """Partition by number; raises :class:`StorageError` if absent."""
+        try:
+            return self._partitions[number]
+        except KeyError:
+            raise StorageError(
+                f"disk {self.name!r} has no partition {number}"
+            ) from None
+
+    def has_partition(self, number: int) -> bool:
+        return number in self._partitions
+
+    @property
+    def extended(self) -> Optional[Partition]:
+        for p in self._partitions.values():
+            if p.kind is PartitionKind.EXTENDED:
+                return p
+        return None
+
+    @property
+    def active_partition(self) -> Optional[Partition]:
+        for p in self.partitions:
+            if p.active:
+                return p
+        return None
+
+    def free_mb(self) -> float:
+        """Unallocated space outside any primary/extended partition."""
+        used = sum(
+            p.size_mb
+            for p in self._partitions.values()
+            if p.kind is not PartitionKind.LOGICAL
+        )
+        return self.size_mb - used
+
+    def _end_of_allocated(self, within: Optional[Partition] = None) -> float:
+        if within is None:
+            outer = [
+                p for p in self._partitions.values()
+                if p.kind is not PartitionKind.LOGICAL
+            ]
+            return max((p.end_mb for p in outer), default=0.0)
+        inner = [
+            p for p in self._partitions.values() if p.kind is PartitionKind.LOGICAL
+        ]
+        return max((p.end_mb for p in inner), default=within.start_mb)
+
+    # -- partition management ------------------------------------------------
+
+    def create_partition(
+        self, size_mb: float, kind: PartitionKind = PartitionKind.PRIMARY
+    ) -> Partition:
+        """Append a partition in the first free slot/space.
+
+        Primaries/extended are packed end-to-end from the front of the disk;
+        logicals are packed inside the extended container.
+        """
+        if kind is PartitionKind.LOGICAL:
+            return self._create_logical(size_mb)
+        number = self._first_free_primary_number()
+        start = self._end_of_allocated()
+        if start + size_mb > self.size_mb + 1e-6:
+            raise StorageError(
+                f"disk {self.name!r} full: cannot fit {size_mb:.0f}MB "
+                f"(free {self.size_mb - start:.0f}MB)"
+            )
+        if kind is PartitionKind.EXTENDED and self.extended is not None:
+            raise StorageError("only one extended partition is allowed")
+        part = Partition(number=number, kind=kind, start_mb=start, size_mb=size_mb)
+        self._partitions[number] = part
+        return part
+
+    def _create_logical(self, size_mb: float) -> Partition:
+        ext = self.extended
+        if ext is None:
+            raise StorageError("no extended partition to hold a logical one")
+        start = self._end_of_allocated(within=ext)
+        if start + size_mb > ext.end_mb + 1e-6:
+            raise StorageError(
+                f"extended partition full: cannot fit {size_mb:.0f}MB"
+            )
+        part = Partition(
+            number=self._next_logical,
+            kind=PartitionKind.LOGICAL,
+            start_mb=start,
+            size_mb=size_mb,
+        )
+        self._partitions[part.number] = part
+        self._next_logical += 1
+        return part
+
+    def _first_free_primary_number(self) -> int:
+        for n in _PRIMARY_NUMBERS:
+            if n not in self._partitions:
+                return n
+        raise StorageError("all four primary partition slots are in use")
+
+    def delete_partition(self, number: int) -> None:
+        """Remove a partition (and, for the extended one, all logicals)."""
+        part = self.partition(number)
+        if part.kind is PartitionKind.EXTENDED:
+            for p in list(self._partitions.values()):
+                if p.kind is PartitionKind.LOGICAL:
+                    del self._partitions[p.number]
+            self._next_logical = _FIRST_LOGICAL
+        del self._partitions[number]
+
+    def clean(self) -> None:
+        """``diskpart clean``: drop every partition *and* the MBR boot code.
+
+        This is the destructive step that forces the v1 full-reinstall
+        cascade (Figure 9's script begins with it).
+        """
+        self._partitions.clear()
+        self._next_logical = _FIRST_LOGICAL
+        self.mbr.wipe()
+
+    def set_active(self, number: int) -> None:
+        """Flag one primary partition active (clears the flag elsewhere)."""
+        part = self.partition(number)
+        if part.kind is not PartitionKind.PRIMARY:
+            raise StorageError(
+                f"only primary partitions can be active, not {part.kind.value}"
+            )
+        for p in self._partitions.values():
+            p.active = False
+        part.active = True
+
+    # -- convenience -----------------------------------------------------------
+
+    def filesystem(self, number: int) -> Filesystem:
+        """The filesystem on partition *number*; raises if unformatted."""
+        part = self.partition(number)
+        if part.filesystem is None:
+            raise StorageError(f"partition {part.linux_name} is not formatted")
+        return part.filesystem
+
+    def find_by_fstype(self, fstype: FsType) -> List[Partition]:
+        """All partitions formatted with *fstype*, by number."""
+        return [p for p in self.partitions if p.fstype is fstype]
+
+    def install_mbr(self, boot_code: BootCode) -> None:
+        """Write MBR boot code (validating a GRUB config target exists)."""
+        if boot_code.is_grub and boot_code.config_partition is not None:
+            self.partition(boot_code.config_partition)  # must exist
+        self.mbr.install(boot_code)
+
+    def layout_summary(self) -> str:
+        """One line per partition — used by reports and debugging."""
+        lines = [f"{self.name}: {self.size_mb:.0f}MB, mbr={self.mbr!r}"]
+        for p in self.partitions:
+            fs = p.fstype.value if p.fstype else "-"
+            label = p.filesystem.label if p.filesystem else ""
+            lines.append(
+                f"  {p.linux_name} {p.kind.value:8s} "
+                f"{p.start_mb:>9.0f}..{p.end_mb:<9.0f} {fs:5s} "
+                f"{'*' if p.active else ' '} {label}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Disk {self.name} {self.size_mb:.0f}MB parts={len(self._partitions)}>"

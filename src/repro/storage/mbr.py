@@ -1,0 +1,83 @@
+"""Master Boot Record model.
+
+The MBR holds (a) the 446-byte boot-code area — here modelled as a
+:class:`BootCode` descriptor naming the loader that owns it — and (b) the
+active-partition flag (which we keep on :class:`~repro.storage.partition.Partition`
+but expose through the disk).
+
+Why this matters for the paper: in v1, GRUB is installed *into the MBR* so
+it can chainload either OS.  A Windows (re)installation unconditionally
+rewrites the MBR boot code with the Windows loader — destroying GRUB and
+with it the ability to boot Linux (§IV.A: "the reimaging of Windows
+partitions always rewrites MBR and damages GRUB which boots Linux").  v2
+sidesteps the MBR entirely by PXE-booting.  Both behaviours fall out of
+this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BootCode:
+    """Contents of the MBR boot-code area.
+
+    Parameters
+    ----------
+    loader:
+        ``"grub"`` — GRUB stage1, jumps into stage2 on ``config_partition``;
+        ``"windows"`` — generic Microsoft MBR code: boots the *active*
+        primary partition;
+        ``"generic"`` — same active-partition semantics (what a factory disk
+        ships with).
+    config_partition:
+        For GRUB: the partition number holding ``/boot/grub`` (stage2 +
+        ``menu.lst``).  ``None`` for the active-partition loaders.
+    """
+
+    loader: str
+    config_partition: Optional[int] = None
+
+    GRUB = "grub"
+    WINDOWS = "windows"
+    GENERIC = "generic"
+
+    def __post_init__(self) -> None:
+        if self.loader not in (self.GRUB, self.WINDOWS, self.GENERIC):
+            raise ValueError(f"unknown MBR loader {self.loader!r}")
+        if self.loader == self.GRUB and self.config_partition is None:
+            raise ValueError("GRUB MBR boot code needs a config partition")
+
+    @property
+    def is_grub(self) -> bool:
+        return self.loader == self.GRUB
+
+
+class MBR:
+    """The first sector of a disk."""
+
+    def __init__(self) -> None:
+        self.boot_code: Optional[BootCode] = None
+        #: generation counter: every rewrite bumps it, so tests can assert
+        #: exactly how many times deployments clobbered the MBR.
+        self.write_count: int = 0
+
+    def install(self, boot_code: BootCode) -> None:
+        """Write new boot code (overwrites whatever was there)."""
+        self.boot_code = boot_code
+        self.write_count += 1
+
+    def wipe(self) -> None:
+        """Zero the sector (``diskpart clean`` does this)."""
+        self.boot_code = None
+        self.write_count += 1
+
+    @property
+    def bootable(self) -> bool:
+        return self.boot_code is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = self.boot_code.loader if self.boot_code else "empty"
+        return f"<MBR {inner} writes={self.write_count}>"

@@ -1,0 +1,90 @@
+"""parted-style operations used by OSCAR/systemimager master scripts.
+
+systemimager's generated ``oscarimage.master`` partitions the target disk
+with ``parted``.  Two verbs matter to the paper:
+
+* ``mkpart`` — create the partition **without** a filesystem;
+* ``mkpartfs`` — create **and** format it.
+
+dualboot-oscar v1 required hand-editing the master script to replace
+``mkpart`` with ``mkpartfs`` for the FAT control partition ("to make FAT
+works proper", §III.C.1): rsync could not populate an unformatted
+partition.  The deployment layer reproduces that failure mechanically — a
+``mkpart``-created FAT slot stays unformatted, and the subsequent rsync
+step raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import StorageError
+from repro.storage.disk import Disk
+from repro.storage.partition import FsType, Partition, PartitionKind
+
+_PARTED_FS = {
+    "ext3": FsType.EXT3,
+    "fat32": FsType.FAT,
+    "fat": FsType.FAT,
+    "ntfs": FsType.NTFS,
+    "linux-swap": FsType.SWAP,
+}
+
+
+@dataclass(frozen=True)
+class PartedOp:
+    """One partitioning operation in a master script.
+
+    ``verb`` is ``"mkpart"`` or ``"mkpartfs"``; ``fs`` is the parted
+    filesystem name (used as a *type hint* only for ``mkpart``, but actually
+    formatted for ``mkpartfs``).  ``size_mb=None`` means "rest of the
+    container" (the ``*`` size in ``ide.disk``).
+    """
+
+    verb: str
+    kind: PartitionKind
+    fs: str
+    size_mb: Optional[float]
+
+    def __post_init__(self) -> None:
+        if self.verb not in ("mkpart", "mkpartfs"):
+            raise StorageError(f"unknown parted verb {self.verb!r}")
+        if self.fs not in _PARTED_FS and self.fs != "raw":
+            raise StorageError(f"unknown parted fs {self.fs!r}")
+
+    def render(self) -> str:
+        """The script line as it would appear in ``oscarimage.master``."""
+        size = "REST" if self.size_mb is None else f"{self.size_mb:.0f}MB"
+        return f"parted {self.verb} {self.kind.value} {self.fs} {size}"
+
+
+def apply_parted_ops(disk: Disk, ops: List[PartedOp]) -> List[Partition]:
+    """Execute operations in order, returning the created partitions.
+
+    A ``None`` size claims the remaining space of the relevant container
+    (disk for primary/extended, extended partition for logical).
+    """
+    created: List[Partition] = []
+    for op in ops:
+        size = op.size_mb
+        if size is None:
+            if op.kind is PartitionKind.LOGICAL:
+                ext = disk.extended
+                if ext is None:
+                    raise StorageError("logical partition before extended")
+                size = ext.end_mb - disk._end_of_allocated(within=ext)
+            else:
+                size = disk.free_mb()
+            if size <= 0:
+                raise StorageError(f"no space left for {op.render()!r}")
+        part = disk.create_partition(size, op.kind)
+        if op.verb == "mkpartfs" and op.fs != "raw":
+            part.format(_PARTED_FS[op.fs])
+        created.append(part)
+    return created
+
+
+def render_master_script(ops: List[PartedOp]) -> str:
+    """Render the partitioning section of an ``oscarimage.master`` script."""
+    return "\n".join(op.render() for op in ops) + "\n"

@@ -1,0 +1,45 @@
+"""The HPC Pack InstallShare.
+
+"Windows HPC has stored its configure file in a clear-text file, which is
+``C:\\Program Files\\Microsoft HPC Pack 2008 R2\\Data\\InstallShare\\
+Config\\diskpart.txt``" (§III.C.2).  dualboot-oscar's entire Windows-side
+deployment patch is editing that one file — so the model stores it on the
+Windows head node's real (simulated) filesystem at the real path, and the
+deploy tool reads it back from there.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeploymentError
+from repro.oslayer.base import OSInstance
+from repro.storage.diskpart import ORIGINAL_DISKPART_TXT, parse_diskpart_script
+
+#: The canonical clear-text config path (Figure 9's caption).
+DISKPART_PATH = (
+    r"C:\Program Files\Microsoft HPC Pack 2008 R2"
+    r"\Data\InstallShare\Config\diskpart.txt"
+)
+
+
+class InstallShare:
+    """The deployment share on the Windows head node."""
+
+    def __init__(self, head_os: OSInstance) -> None:
+        if head_os.kind != "windows":
+            raise DeploymentError("InstallShare lives on a Windows head node")
+        self.head_os = head_os
+        if not head_os.exists(DISKPART_PATH):
+            head_os.write(DISKPART_PATH, ORIGINAL_DISKPART_TXT)
+
+    def read_diskpart(self) -> str:
+        return self.head_os.read(DISKPART_PATH)
+
+    def write_diskpart(self, script: str) -> None:
+        """Patch the partitioning script (validated before writing — a
+        deployment with a broken script bricks every node it touches)."""
+        parse_diskpart_script(script)
+        self.head_os.write(DISKPART_PATH, script)
+
+    @property
+    def is_stock(self) -> bool:
+        return self.read_diskpart() == ORIGINAL_DISKPART_TXT

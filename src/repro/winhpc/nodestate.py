@@ -1,0 +1,59 @@
+"""Windows HPC node records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class WinNodeState(enum.Enum):
+    ONLINE = "Online"
+    OFFLINE = "Offline"
+    DRAINING = "Draining"
+    UNREACHABLE = "Unreachable"
+
+
+@dataclass
+class WinNodeRecord:
+    """Head-node view of one compute node."""
+
+    hostname: str
+    cores: int
+    state: WinNodeState = WinNodeState.UNREACHABLE
+    template: str = "Default ComputeNode Template"
+    #: job_id -> cores allocated on this node
+    allocations: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def cores_in_use(self) -> int:
+        return sum(self.allocations.values())
+
+    @property
+    def available_cores(self) -> int:
+        if self.state is not WinNodeState.ONLINE:
+            return 0
+        return self.cores - self.cores_in_use
+
+    @property
+    def idle(self) -> bool:
+        return self.state is WinNodeState.ONLINE and not self.allocations
+
+    def allocate(self, job_id: int, count: int) -> None:
+        if count > self.available_cores:
+            raise ValueError(
+                f"{self.hostname}: want {count} cores, "
+                f"{self.available_cores} available"
+            )
+        self.allocations[job_id] = self.allocations.get(job_id, 0) + count
+
+    def release(self, job_id: int) -> None:
+        self.allocations.pop(job_id, None)
+
+    def mark_online(self) -> None:
+        self.state = WinNodeState.ONLINE
+        self.allocations.clear()
+
+    def mark_unreachable(self) -> None:
+        self.state = WinNodeState.UNREACHABLE
+        self.allocations.clear()

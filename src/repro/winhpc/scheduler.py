@@ -1,0 +1,226 @@
+"""The Windows HPC head-node scheduler.
+
+FIFO with head-of-line blocking (HPC Pack's default queued scheduling
+mode, and the assumption the paper's daemons make).  ``Core``-unit jobs
+pack cores onto the fullest online nodes first; ``Node``-unit jobs need
+entirely idle machines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SchedulerError
+from repro.oslayer.shell import run_script
+from repro.simkernel import Interrupt, Simulator, Timeout
+from repro.winhpc.job import WinHpcJob, WinJobSpec, WinJobState, WinJobUnit
+from repro.winhpc.nodestate import WinNodeRecord, WinNodeState
+
+
+class WinHpcScheduler:
+    """Job queue + node table on the Windows head node."""
+
+    def __init__(self, sim: Simulator, head_name: str = "winhead") -> None:
+        self.sim = sim
+        self.head_name = head_name
+        self.nodes: Dict[str, WinNodeRecord] = {}
+        self.jobs: Dict[int, WinHpcJob] = {}
+        self.queue_order: List[int] = []
+        self._node_os: Dict[str, object] = {}
+        self._runners: Dict[int, object] = {}
+        self._seq = 1
+        self.observers: List[Callable[[str, WinHpcJob], None]] = []
+
+    # -- node table -----------------------------------------------------------
+
+    def add_node(self, hostname: str, cores: int, template: str = "") -> WinNodeRecord:
+        if hostname in self.nodes:
+            raise SchedulerError(f"node {hostname} already in the cluster")
+        record = WinNodeRecord(hostname=hostname, cores=cores)
+        if template:
+            record.template = template
+        self.nodes[hostname] = record
+        return record
+
+    def node(self, hostname: str) -> WinNodeRecord:
+        try:
+            return self.nodes[hostname]
+        except KeyError:
+            raise SchedulerError(f"unknown node {hostname}") from None
+
+    def node_online(self, hostname: str, os_instance: object = None) -> None:
+        record = self.node(hostname)
+        record.mark_online()
+        if os_instance is not None:
+            self._node_os[hostname] = os_instance
+        self._try_schedule()
+
+    def node_unreachable(self, hostname: str) -> None:
+        record = self.node(hostname)
+        victims = list(record.allocations)
+        record.mark_unreachable()
+        self._node_os.pop(hostname, None)
+        for job_id in victims:
+            runner = self._runners.get(job_id)
+            if runner is not None:
+                runner.interrupt("node unreachable")
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, spec: WinJobSpec, owner: str = "HPCUser") -> WinHpcJob:
+        if spec.amount < 1:
+            raise SchedulerError(f"job amount must be >= 1, got {spec.amount}")
+        if spec.unit is WinJobUnit.CORE:
+            capacity = sum(r.cores for r in self.nodes.values())
+            if spec.amount > capacity:
+                raise SchedulerError(
+                    f"job wants {spec.amount} cores, cluster has {capacity}"
+                )
+        elif spec.amount > len(self.nodes):
+            raise SchedulerError(
+                f"job wants {spec.amount} nodes, cluster has {len(self.nodes)}"
+            )
+        if not 0 <= spec.priority <= 4000:
+            raise SchedulerError(
+                f"priority must be in [0, 4000], got {spec.priority}"
+            )
+        job = WinHpcJob(
+            job_id=self._seq,
+            name=spec.name,
+            owner=owner,
+            unit=spec.unit,
+            amount=spec.amount,
+            submit_time=self.sim.now,
+            runtime_s=spec.runtime_s,
+            script=spec.script,
+            tag=spec.tag,
+            priority=spec.priority,
+        )
+        self._seq += 1
+        self.jobs[job.job_id] = job
+        # priority queue with FIFO ties: insert after the last job of equal
+        # or greater priority (HPC Pack's queued scheduling mode)
+        position = len(self.queue_order)
+        for index, queued_id in enumerate(self.queue_order):
+            if self.jobs[queued_id].priority < job.priority:
+                position = index
+                break
+        self.queue_order.insert(position, job.job_id)
+        self._notify("submitted", job)
+        self._try_schedule()
+        return job
+
+    def cancel(self, job_id: int) -> None:
+        job = self._get(job_id)
+        if job.state is WinJobState.QUEUED:
+            self.queue_order.remove(job_id)
+            self._finish(job, WinJobState.CANCELED)
+        elif job.state is WinJobState.RUNNING:
+            runner = self._runners.get(job_id)
+            if runner is not None:
+                runner.interrupt("canceled")
+        else:
+            raise SchedulerError(f"job {job_id} is {job.state.value}")
+
+    # -- queries ---------------------------------------------------------------
+
+    def _get(self, job_id: int) -> WinHpcJob:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise SchedulerError(f"unknown job {job_id}") from None
+
+    def queued_jobs(self) -> List[WinHpcJob]:
+        return [self.jobs[j] for j in self.queue_order]
+
+    def running_jobs(self) -> List[WinHpcJob]:
+        return [j for j in self.jobs.values() if j.state is WinJobState.RUNNING]
+
+    def online_nodes(self) -> List[WinNodeRecord]:
+        return [r for r in self.nodes.values() if r.state is WinNodeState.ONLINE]
+
+    def idle_nodes(self) -> List[WinNodeRecord]:
+        return [r for r in self.online_nodes() if r.idle]
+
+    def free_cores(self) -> int:
+        return sum(r.available_cores for r in self.nodes.values())
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _try_schedule(self) -> None:
+        while self.queue_order:
+            job = self.jobs[self.queue_order[0]]
+            placement = self._place(job)
+            if placement is None:
+                return  # FIFO head-of-line blocking
+            self.queue_order.pop(0)
+            self._start(job, placement)
+
+    def _place(self, job: WinHpcJob) -> Optional[Dict[str, int]]:
+        if job.unit is WinJobUnit.NODE:
+            idle = sorted(self.idle_nodes(), key=lambda r: r.hostname, reverse=True)
+            if len(idle) < job.amount:
+                return None
+            return {record.hostname: record.cores for record in idle[: job.amount]}
+        # CORE unit: pack onto the busiest (fewest free cores) nodes first,
+        # leaving whole machines idle for NODE-unit work.
+        online = sorted(
+            (r for r in self.online_nodes() if r.available_cores > 0),
+            key=lambda r: (r.available_cores, r.hostname),
+        )
+        needed = job.amount
+        placement: Dict[str, int] = {}
+        for record in online:
+            take = min(record.available_cores, needed)
+            placement[record.hostname] = take
+            needed -= take
+            if needed == 0:
+                return placement
+        return None
+
+    def _start(self, job: WinHpcJob, placement: Dict[str, int]) -> None:
+        job.state = WinJobState.RUNNING
+        job.start_time = self.sim.now
+        for hostname, cores in placement.items():
+            self.nodes[hostname].allocate(job.job_id, cores)
+            job.allocation[hostname] = cores
+        self._runners[job.job_id] = self.sim.spawn(
+            self._run(job), name=f"winjob:{job.job_id}"
+        )
+        self._notify("started", job)
+
+    def _run(self, job: WinHpcJob):
+        final = WinJobState.FINISHED
+        try:
+            if job.script is not None:
+                first_host = next(iter(job.allocation))
+                os_instance = self._node_os.get(first_host)
+                if os_instance is None:
+                    final = WinJobState.FAILED
+                else:
+                    result = yield from run_script(
+                        os_instance, job.script,
+                        env={"CCP_JOBID": str(job.job_id)},
+                    )
+                    if not result.ok:
+                        final = WinJobState.FAILED
+            else:
+                yield Timeout(job.runtime_s if job.runtime_s is not None else 0.0)
+        except Interrupt:
+            final = WinJobState.CANCELED
+        self._finish(job, final)
+
+    def _finish(self, job: WinHpcJob, state: WinJobState) -> None:
+        job.state = state
+        job.end_time = self.sim.now
+        for record in self.nodes.values():
+            record.release(job.job_id)
+        self._runners.pop(job.job_id, None)
+        if job.on_complete is not None:
+            job.on_complete(job)
+        self._notify("finished", job)
+        self._try_schedule()
+
+    def _notify(self, event: str, job: WinHpcJob) -> None:
+        for observer in self.observers:
+            observer(event, job)

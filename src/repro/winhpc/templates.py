@@ -1,0 +1,41 @@
+"""Windows HPC node templates.
+
+Node templates drive bare-metal deployment in HPC Pack: a template names
+the OS image and the partitioning script the deployment service applies
+to a PXE-booted node.  dualboot-oscar patches exactly one artefact inside
+the template's install share — ``diskpart.txt`` — so the template model
+here carries that script (see :mod:`repro.windeploy.installshare`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.diskpart import MODIFIED_DISKPART_TXT_V1, ORIGINAL_DISKPART_TXT
+
+
+@dataclass(frozen=True)
+class NodeTemplate:
+    """One deployment recipe."""
+
+    name: str
+    diskpart_script: str
+    description: str = ""
+
+    @classmethod
+    def stock(cls) -> "NodeTemplate":
+        """The out-of-the-box template (Figure 9's whole-disk script)."""
+        return cls(
+            name="Default ComputeNode Template",
+            diskpart_script=ORIGINAL_DISKPART_TXT,
+            description="Unmodified HPC Pack 2008 R2 deployment",
+        )
+
+    @classmethod
+    def dualboot_v1(cls) -> "NodeTemplate":
+        """The Figure-10 template: Windows claims only 150 GB."""
+        return cls(
+            name="DualBoot 150GB Template",
+            diskpart_script=MODIFIED_DISKPART_TXT_V1,
+            description="dualboot-oscar v1: leave space for Linux",
+        )

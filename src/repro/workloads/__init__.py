@@ -1,0 +1,24 @@
+"""Synthetic workloads: arrivals, job streams, named scenarios, traces.
+
+The paper's evaluation is qualitative, so the experiments need synthetic
+load whose *shape* matches the campus-cluster story: a mix of Linux
+scientific codes and Windows rendering/engineering jobs, Poisson or
+bursty arrivals, lognormal runtimes.  Everything is seeded and
+reproducible.
+"""
+
+from repro.workloads.arrivals import bursty_arrivals, poisson_arrivals
+from repro.workloads.jobs import MixedWorkload, WorkloadJob
+from repro.workloads.scenarios import SCENARIOS, make_scenario
+from repro.workloads.traces import load_trace, save_trace
+
+__all__ = [
+    "MixedWorkload",
+    "SCENARIOS",
+    "WorkloadJob",
+    "bursty_arrivals",
+    "load_trace",
+    "make_scenario",
+    "poisson_arrivals",
+    "save_trace",
+]

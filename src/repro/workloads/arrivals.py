@@ -1,0 +1,52 @@
+"""Arrival-time generators."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.simkernel.rng import RngStreams
+
+
+def poisson_arrivals(
+    rng: RngStreams,
+    stream: str,
+    rate_per_hour: float,
+    horizon_s: float,
+    start_s: float = 0.0,
+) -> List[float]:
+    """Homogeneous Poisson arrivals on ``[start, horizon)``."""
+    if rate_per_hour <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate_per_hour}")
+    mean_gap = 3600.0 / rate_per_hour
+    times: List[float] = []
+    clock = start_s
+    while True:
+        clock += rng.exponential(stream, mean_gap)
+        if clock >= horizon_s:
+            return times
+        times.append(clock)
+
+
+def bursty_arrivals(
+    rng: RngStreams,
+    stream: str,
+    horizon_s: float,
+    burst_count: int,
+    jobs_per_burst: int,
+    burst_spread_s: float = 300.0,
+) -> List[float]:
+    """Bursts at regular intervals with jittered arrivals inside each —
+    the "a research group submits a campaign" pattern that drives OS
+    oscillation in experiment E7."""
+    if burst_count < 1 or jobs_per_burst < 1:
+        raise ConfigurationError("bursts and jobs per burst must be >= 1")
+    times: List[float] = []
+    gap = horizon_s / burst_count
+    for burst in range(burst_count):
+        base = burst * gap
+        for _ in range(jobs_per_burst):
+            offset = rng.uniform(f"{stream}:b{burst}", 0.0, burst_spread_s)
+            times.append(base + offset)
+    times.sort()
+    return [t for t in times if t < horizon_s]

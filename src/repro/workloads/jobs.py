@@ -1,0 +1,87 @@
+"""Workload jobs and the mixed-OS generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.application import make_job_request
+from repro.apps.catalog import supported_on
+from repro.errors import ConfigurationError
+from repro.simkernel.rng import RngStreams
+from repro.workloads.arrivals import poisson_arrivals
+
+
+@dataclass(frozen=True)
+class WorkloadJob:
+    """One submission in a scenario: what, where, when, how long."""
+
+    name: str
+    os_name: str       # "linux" | "windows"
+    cores: int
+    runtime_s: float
+    arrival_s: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.os_name not in ("linux", "windows"):
+            raise ConfigurationError(f"bad job OS {self.os_name!r}")
+        if self.cores < 1 or self.runtime_s <= 0 or self.arrival_s < 0:
+            raise ConfigurationError(f"bad job parameters: {self}")
+
+
+@dataclass
+class MixedWorkload:
+    """Poisson stream of Table-I application jobs with a Windows fraction.
+
+    ``windows_fraction`` is the probability that a job is a Windows job;
+    Windows jobs draw from the applications that run on Windows, Linux
+    jobs from those that run on Linux (multi-platform apps appear on
+    both sides, as campus users really used them).
+    """
+
+    seed: int = 0
+    rate_per_hour: float = 6.0
+    windows_fraction: float = 0.25
+    horizon_s: float = 8 * 3600.0
+    max_cores: Optional[int] = None
+    runtime_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.windows_fraction <= 1.0:
+            raise ConfigurationError(
+                f"windows_fraction must be in [0,1], got {self.windows_fraction}"
+            )
+        if self.runtime_scale <= 0:
+            raise ConfigurationError("runtime_scale must be positive")
+
+    def generate(self) -> List[WorkloadJob]:
+        rng = RngStreams(self.seed)
+        arrivals = poisson_arrivals(
+            rng, "mix:arrivals", self.rate_per_hour, self.horizon_s
+        )
+        windows_apps = supported_on("windows")
+        linux_apps = supported_on("linux")
+        jobs: List[WorkloadJob] = []
+        for index, arrival in enumerate(arrivals):
+            to_windows = rng.bernoulli("mix:os", self.windows_fraction)
+            pool = windows_apps if to_windows else linux_apps
+            app = rng.choice("mix:app", pool)
+            request = make_job_request(
+                app, rng,
+                platform_preference="windows" if to_windows else "linux",
+            )
+            cores = request.cores
+            if self.max_cores is not None:
+                cores = min(cores, self.max_cores)
+            jobs.append(
+                WorkloadJob(
+                    name=f"{app.name.lower().replace(' ', '-')}-{index:04d}",
+                    os_name=request.os_name,
+                    cores=cores,
+                    runtime_s=request.runtime_s * self.runtime_scale,
+                    arrival_s=arrival,
+                    tag="mixed",
+                )
+            )
+        return jobs

@@ -1,0 +1,107 @@
+"""Named scenarios used by the examples and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.simkernel.rng import RngStreams
+from repro.simkernel.timeunits import HOUR
+from repro.workloads.arrivals import bursty_arrivals
+from repro.workloads.jobs import MixedWorkload, WorkloadJob
+
+
+def campus_day(seed: int = 0) -> List[WorkloadJob]:
+    """A working day on the campus grid: steady mixed load, mostly Linux
+    (Table I is 10:2:3 Linux:Windows:both)."""
+    return MixedWorkload(
+        seed=seed,
+        rate_per_hour=8.0,
+        windows_fraction=0.25,
+        horizon_s=10 * HOUR,
+        max_cores=16,
+        runtime_scale=0.4,
+    ).generate()
+
+
+def windows_burst(seed: int = 0) -> List[WorkloadJob]:
+    """Quiet Linux background, then a Backburner render farm burst — the
+    step change that exercises the switch path."""
+    background = MixedWorkload(
+        seed=seed,
+        rate_per_hour=3.0,
+        windows_fraction=0.0,
+        horizon_s=8 * HOUR,
+        max_cores=8,
+        runtime_scale=0.3,
+    ).generate()
+    rng = RngStreams(seed)
+    burst: List[WorkloadJob] = []
+    for index in range(10):
+        burst.append(
+            WorkloadJob(
+                name=f"backburner-{index:02d}",
+                os_name="windows",
+                cores=4,
+                runtime_s=rng.lognormal("burst:runtime", 1200.0, 0.5),
+                arrival_s=2 * HOUR + index * 60.0,
+                tag="render-burst",
+            )
+        )
+    return sorted(background + burst, key=lambda j: j.arrival_s)
+
+
+def oscillating(seed: int = 0) -> List[WorkloadJob]:
+    """Alternating Linux/Windows campaigns — the anti-thrash stress for
+    the policy ablation (E7)."""
+    rng = RngStreams(seed)
+    horizon = 12 * HOUR
+    jobs: List[WorkloadJob] = []
+    for side, stream in (("linux", "osc:l"), ("windows", "osc:w")):
+        offset = 0.0 if side == "linux" else 1.0 * HOUR
+        times = bursty_arrivals(
+            rng, stream, horizon - offset, burst_count=6, jobs_per_burst=4,
+            burst_spread_s=600.0,
+        )
+        for index, t in enumerate(times):
+            jobs.append(
+                WorkloadJob(
+                    name=f"{side}-camp-{index:03d}",
+                    os_name=side,
+                    cores=4,
+                    runtime_s=rng.lognormal(f"{stream}:rt", 1500.0, 0.4),
+                    arrival_s=t + offset,
+                    tag="campaign",
+                )
+            )
+    return sorted(jobs, key=lambda j: j.arrival_s)
+
+
+def ga_case_study(seed: int = 0) -> List[WorkloadJob]:
+    """§IV.B: MDCS genetic-algorithm burst over a Linux background."""
+    # local import: apps.matlab_mdcs builds WorkloadJobs, so importing it
+    # at module level would close an import cycle through this package
+    from repro.apps.matlab_mdcs import GaConfig, ga_burst, linux_background
+
+    rng = RngStreams(seed)
+    ga = ga_burst(GaConfig(start_s=1 * HOUR), rng.spawn("ga"))
+    background = linux_background(rng.spawn("bg"), horizon_s=6 * HOUR)
+    return sorted(ga + background, key=lambda j: j.arrival_s)
+
+
+SCENARIOS: Dict[str, Callable[[int], List[WorkloadJob]]] = {
+    "campus_day": campus_day,
+    "windows_burst": windows_burst,
+    "oscillating": oscillating,
+    "ga_case_study": ga_case_study,
+}
+
+
+def make_scenario(name: str, seed: int = 0) -> List[WorkloadJob]:
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; have {sorted(SCENARIOS)}"
+        ) from None
+    return factory(seed)

@@ -1,0 +1,47 @@
+"""Workload trace persistence (JSON lines).
+
+Scenario runs are reproducible from seeds, but traces let a workload be
+frozen, shared, inspected, and replayed against every system under
+comparison — the "same jobs, different middleware" guarantee of the
+E2/E3 experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.workloads.jobs import WorkloadJob
+
+_FIELDS = ("name", "os_name", "cores", "runtime_s", "arrival_s", "tag")
+
+
+def save_trace(jobs: List[WorkloadJob]) -> str:
+    """Serialise jobs to JSON-lines text (one job per line)."""
+    lines = []
+    for job in jobs:
+        lines.append(
+            json.dumps({key: getattr(job, key) for key in _FIELDS})
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_trace(text: str) -> List[WorkloadJob]:
+    """Parse JSON-lines text back into jobs (sorted by arrival)."""
+    jobs: List[WorkloadJob] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"trace line {lineno}: {exc}") from exc
+        unknown = set(data) - set(_FIELDS)
+        if unknown:
+            raise ConfigurationError(
+                f"trace line {lineno}: unknown fields {sorted(unknown)}"
+            )
+        jobs.append(WorkloadJob(**data))
+    return sorted(jobs, key=lambda j: j.arrival_s)

@@ -1,0 +1,46 @@
+"""MDCS GA workload model tests."""
+
+import pytest
+
+from repro.apps.matlab_mdcs import GaConfig, ga_burst, linux_background
+from repro.simkernel.rng import RngStreams
+
+
+def test_ga_burst_sequential_generations():
+    rng = RngStreams(4)
+    config = GaConfig(generations=6, workers=8, start_s=100.0)
+    jobs = ga_burst(config, rng)
+    assert len(jobs) == 6
+    assert jobs[0].arrival_s == 100.0
+    for earlier, later in zip(jobs, jobs[1:]):
+        # generation k+1 arrives after generation k's expected end + think
+        assert later.arrival_s >= (
+            earlier.arrival_s + earlier.runtime_s + config.think_time_s - 1e-9
+        )
+    assert all(j.os_name == "windows" and j.cores == 8 for j in jobs)
+    assert all(j.tag == "mdcs-ga" for j in jobs)
+
+
+def test_ga_burst_deterministic():
+    config = GaConfig()
+    a = ga_burst(config, RngStreams(9))
+    b = ga_burst(config, RngStreams(9))
+    assert a == b
+
+
+def test_linux_background_within_horizon():
+    jobs = linux_background(RngStreams(2), horizon_s=7200.0)
+    assert all(j.arrival_s < 7200.0 for j in jobs)
+    assert all(j.os_name == "linux" for j in jobs)
+    names = [j.name for j in jobs]
+    assert len(names) == len(set(names))
+
+
+def test_linux_background_rate_scales():
+    few = linux_background(
+        RngStreams(3), horizon_s=36_000.0, mean_interarrival_s=3600.0
+    )
+    many = linux_background(
+        RngStreams(3), horizon_s=36_000.0, mean_interarrival_s=360.0
+    )
+    assert len(many) > len(few)

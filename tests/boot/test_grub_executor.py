@@ -1,0 +1,132 @@
+"""GRUB execution semantics on the v1 Eridani disk layout."""
+
+import pytest
+
+from repro.errors import BootError
+from repro.boot.grub import GrubExecutor
+from repro.boot.grubcfg import parse_grub_config
+from tests.conftest import CONTROLMENU_FIG3, MENU_LST_FIG2, make_v1_disk
+
+
+def test_fig2_redirect_resolves_linux(v1_disk):
+    """menu.lst -> configfile on FAT -> default 0 -> CentOS entry."""
+    target = GrubExecutor(v1_disk).execute_text(MENU_LST_FIG2)
+    assert target.kind == "linux"
+    assert target.title == "CentOS-5.4_Oscar-5b2-linux"
+    assert target.kernel_partition == 2  # (hd0,1) = /dev/sda2
+    assert target.kernel_path == "/vmlinuz-2.6.18-164.el5"
+    assert target.root_device == "/dev/sda7"
+    assert target.root_partition_number == 7
+    assert target.initrd_path == "/sc-initrd-2.6.18-164.el5.gz"
+    assert "enforcing=0" in target.kernel_args
+
+
+def test_fig2_redirect_resolves_windows_when_flag_flipped():
+    disk = make_v1_disk(default_os="windows")
+    target = GrubExecutor(disk).execute_text(MENU_LST_FIG2)
+    assert target.kind == "chainload"
+    assert target.title == "Win_Server_2K8_R2-windows"
+    assert target.chainload_partition == 1  # (hd0,0) = /dev/sda1
+
+
+def test_direct_controlmenu_execution(v1_disk):
+    target = GrubExecutor(v1_disk).execute_text(CONTROLMENU_FIG3)
+    assert target.kind == "linux"
+
+
+def test_trace_records_the_redirect(v1_disk):
+    target = GrubExecutor(v1_disk).execute_text(MENU_LST_FIG2)
+    joined = " | ".join(target.trace)
+    assert "configfile /controlmenu.lst" in joined
+    assert "partition 6" in joined  # (hd0,5)
+
+
+def test_missing_controlmenu_hangs_boot(v1_disk):
+    v1_disk.filesystem(6).delete("/controlmenu.lst")
+    with pytest.raises(BootError, match="configfile"):
+        GrubExecutor(v1_disk).execute_text(MENU_LST_FIG2)
+
+
+def test_unformatted_fat_partition_hangs_boot(v1_disk):
+    """The v1 mkpart-vs-mkpartfs deployment bug surfaces here."""
+    v1_disk.partition(6).filesystem = None
+    with pytest.raises(BootError):
+        GrubExecutor(v1_disk).execute_text(MENU_LST_FIG2)
+
+
+def test_missing_kernel_file_fails(v1_disk):
+    v1_disk.filesystem(2).delete("/vmlinuz-2.6.18-164.el5")
+    with pytest.raises(BootError, match="kernel"):
+        GrubExecutor(v1_disk).execute_text(MENU_LST_FIG2)
+
+
+def test_missing_initrd_fails(v1_disk):
+    v1_disk.filesystem(2).delete("/sc-initrd-2.6.18-164.el5.gz")
+    with pytest.raises(BootError, match="initrd"):
+        GrubExecutor(v1_disk).execute_text(MENU_LST_FIG2)
+
+
+def test_root_probes_partition_existence(v1_disk):
+    text = "title t\nroot (hd0,3)\nchainloader +1\n"
+    with pytest.raises(BootError, match="no partition 4"):
+        GrubExecutor(v1_disk).execute_text(text)
+
+
+def test_rootnoverify_skips_probe_but_chainload_still_recorded(v1_disk):
+    text = "title t\nrootnoverify (hd0,0)\nchainloader +1\n"
+    target = GrubExecutor(v1_disk).execute_text(text)
+    assert target.chainload_partition == 1
+
+
+def test_chainloader_without_root_fails(v1_disk):
+    with pytest.raises(BootError, match="no root"):
+        GrubExecutor(v1_disk).execute_text("title t\nchainloader +1\n")
+
+
+def test_chainloader_unsupported_arg(v1_disk):
+    with pytest.raises(BootError):
+        GrubExecutor(v1_disk).execute_text(
+            "title t\nroot (hd0,0)\nchainloader +2\n"
+        )
+
+
+def test_entry_without_payload_fails(v1_disk):
+    with pytest.raises(BootError, match="neither kernel nor chainloader"):
+        GrubExecutor(v1_disk).execute_text("title t\nroot (hd0,0)\n")
+
+
+def test_configfile_loop_detected(v1_disk):
+    v1_disk.filesystem(6).write(
+        "/controlmenu.lst",
+        "title loop\nroot (hd0,5)\nconfigfile /controlmenu.lst\n",
+    )
+    with pytest.raises(BootError, match="loop"):
+        GrubExecutor(v1_disk).execute_text(MENU_LST_FIG2)
+
+
+def test_kernel_with_explicit_device_path(v1_disk):
+    text = (
+        "title t\nkernel (hd0,1)/vmlinuz-2.6.18-164.el5 ro root=/dev/sda7\n"
+    )
+    target = GrubExecutor(v1_disk).execute_text(text)
+    assert target.kernel_partition == 2
+
+
+def test_kernel_without_root_set_fails(v1_disk):
+    with pytest.raises(BootError, match="no root"):
+        GrubExecutor(v1_disk).execute_text(
+            "title t\nkernel /vmlinuz ro root=/dev/sda7\n"
+        )
+
+
+def test_net_fetch_used_when_no_local_root(v1_disk):
+    fetched = []
+
+    def net_fetch(path):
+        fetched.append(path)
+        return CONTROLMENU_FIG3
+
+    executor = GrubExecutor(v1_disk, net_fetch=net_fetch)
+    target = executor.execute_text("title net\nconfigfile /menu.lst/default\n")
+    assert fetched == ["/menu.lst/default"]
+    assert target.kind == "linux"

@@ -1,0 +1,129 @@
+"""GRUB4DOS-over-PXE and PXELINUX loader tests."""
+
+import pytest
+
+from repro.errors import BootError
+from repro.boot.grub4dos import (
+    GRUB4DOS_ROM,
+    Grub4DosPxe,
+    default_menu_path,
+    mac_menu_name,
+    menu_path_for,
+)
+from repro.boot.pxelinux import (
+    PXELINUX_ROM,
+    Pxelinux,
+    config_path_for,
+    parse_pxelinux_config,
+)
+from repro.netsvc import TftpServer
+from repro.storage import Filesystem, FsType
+from tests.conftest import CONTROLMENU_FIG3, make_v1_disk
+
+MAC = "00:1e:c9:3a:bb:01"
+
+
+@pytest.fixture()
+def tftp():
+    fs = Filesystem(FsType.EXT3, label="headroot")
+    fs.write("/tftpboot/grldr", GRUB4DOS_ROM)
+    fs.write("/tftpboot/pxelinux.0", PXELINUX_ROM)
+    return TftpServer(fs)
+
+
+def test_mac_menu_name():
+    assert mac_menu_name("00:1E:C9:3A:BB:01") == "01-00-1e-c9-3a-bb-01"
+    assert menu_path_for(MAC) == "/menu.lst/01-00-1e-c9-3a-bb-01"
+    assert default_menu_path() == "/menu.lst/default"
+
+
+def test_grub4dos_uses_per_mac_menu(tftp):
+    disk = make_v1_disk()
+    tftp.put(menu_path_for(MAC), CONTROLMENU_FIG3)
+    tftp.put(default_menu_path(), CONTROLMENU_FIG3.replace("default 0", "default 1"))
+    target = Grub4DosPxe(tftp, disk).boot(MAC)
+    assert target.kind == "linux"  # per-MAC menu wins over default
+
+
+def test_grub4dos_falls_back_to_default_menu(tftp):
+    disk = make_v1_disk()
+    tftp.put(default_menu_path(), CONTROLMENU_FIG3.replace("default 0", "default 1"))
+    target = Grub4DosPxe(tftp, disk).boot(MAC)
+    assert target.kind == "chainload"
+
+
+def test_grub4dos_no_menu_at_all_fails(tftp):
+    with pytest.raises(BootError, match="no menu"):
+        Grub4DosPxe(tftp, make_v1_disk()).boot(MAC)
+
+
+def test_grub4dos_menu_can_drive_local_partitions(tftp):
+    """The whole point of GRUB4DOS over PXELINUX: the network menu boots a
+    *local* partition chosen by the head node."""
+    disk = make_v1_disk()
+    tftp.put(
+        default_menu_path(),
+        "default 0\ntitle Win-windows\nrootnoverify (hd0,0)\nchainloader +1\n",
+    )
+    target = Grub4DosPxe(tftp, disk).boot(MAC)
+    assert target.chainload_partition == 1
+
+
+def test_pxelinux_parse_labels():
+    labels = parse_pxelinux_config(
+        "DEFAULT install\n"
+        "LABEL install\n"
+        "KERNEL systemimager/kernel\n"
+        "APPEND initrd=systemimager/initrd.img IMAGESERVER=linhead\n"
+        "LABEL local\n"
+        "LOCALBOOT 0\n"
+    )
+    assert labels[""].name == "install"
+    assert labels["install"].kernel == "systemimager/kernel"
+    assert "IMAGESERVER=linhead" in labels["install"].append
+    assert labels["local"].localboot
+
+
+def test_pxelinux_parse_errors():
+    with pytest.raises(BootError):
+        parse_pxelinux_config("KERNEL orphan\n")
+    with pytest.raises(BootError):
+        parse_pxelinux_config("DEFAULT missing\nLABEL other\nLOCALBOOT 0\n")
+    with pytest.raises(BootError):
+        parse_pxelinux_config("")
+    with pytest.raises(BootError):
+        parse_pxelinux_config("BOGUS directive\n")
+
+
+def test_pxelinux_localboot_action(tftp):
+    tftp.put("/pxelinux.cfg/default", "DEFAULT local\nLABEL local\nLOCALBOOT 0\n")
+    action = Pxelinux(tftp).boot(MAC)
+    assert action.kind == "localboot"
+
+
+def test_pxelinux_kernel_action_requires_kernel_on_tftp(tftp):
+    tftp.put(
+        "/pxelinux.cfg/default",
+        "DEFAULT install\nLABEL install\nKERNEL si/kernel\nAPPEND x=1\n",
+    )
+    with pytest.raises(BootError, match="not on TFTP"):
+        Pxelinux(tftp).boot(MAC)
+    tftp.put("/si/kernel", "installer-kernel")
+    action = Pxelinux(tftp).boot(MAC)
+    assert action.kind == "kernel"
+    assert action.append == "x=1"
+
+
+def test_pxelinux_per_mac_config_preferred(tftp):
+    tftp.put("/pxelinux.cfg/default", "DEFAULT local\nLABEL local\nLOCALBOOT 0\n")
+    tftp.put(
+        config_path_for(MAC),
+        "DEFAULT install\nLABEL install\nKERNEL si/kernel\n",
+    )
+    tftp.put("/si/kernel", "k")
+    assert Pxelinux(tftp).boot(MAC).kind == "kernel"
+
+
+def test_pxelinux_no_config_fails(tftp):
+    with pytest.raises(BootError, match="no config"):
+        Pxelinux(tftp).boot(MAC)

@@ -1,0 +1,52 @@
+"""Volume boot record + active-partition MBR path."""
+
+import pytest
+
+from repro.boot.windowsboot import (
+    WINDOWS_BOOT_MARKER,
+    boot_active_partition,
+    vbr_bootable,
+)
+from repro.errors import BootError
+from repro.storage import Disk, FsType
+
+
+def make_disk():
+    disk = Disk(size_mb=250_000)
+    disk.create_partition(150_000).format(FsType.NTFS, label="Node")
+    disk.create_partition(1_000).format(FsType.EXT3)
+    return disk
+
+
+def test_vbr_needs_ntfs_and_bootmgr():
+    disk = make_disk()
+    ntfs = disk.partition(1)
+    assert not vbr_bootable(ntfs)  # formatted but no bootmgr
+    ntfs.filesystem.write(WINDOWS_BOOT_MARKER, "x")
+    assert vbr_bootable(ntfs)
+    assert not vbr_bootable(disk.partition(2))  # ext3 never
+
+
+def test_vbr_unformatted_partition():
+    disk = Disk(size_mb=1000)
+    part = disk.create_partition(500)
+    assert not vbr_bootable(part)
+
+
+def test_boot_active_partition_success():
+    disk = make_disk()
+    disk.filesystem(1).write(WINDOWS_BOOT_MARKER, "x")
+    disk.set_active(1)
+    assert boot_active_partition(disk).number == 1
+
+
+def test_boot_active_no_active_raises():
+    with pytest.raises(BootError, match="no active partition"):
+        boot_active_partition(make_disk())
+
+
+def test_boot_active_unbootable_vbr_raises():
+    disk = make_disk()
+    disk.set_active(2)  # ext3: no VBR
+    with pytest.raises(BootError, match="no bootable VBR"):
+        boot_active_partition(disk)

@@ -1,0 +1,41 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli.main import main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_list_names_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in ALL_EXPERIMENTS:
+        assert experiment_id in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "t1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "hybrid (dualboot-oscar)" in out
+
+
+def test_run_multiple_quick(capsys):
+    assert main(["run", "t1", "f9f10f14f15", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "== T1" in out and "== F9/F10/F14/F15" in out
+
+
+def test_run_with_seed(capsys):
+    assert main(["run", "f5f6f7f8", "--seed", "3"]) == 0
+    assert "00000none" in capsys.readouterr().out
+
+
+def test_unknown_experiment_exits():
+    with pytest.raises(SystemExit, match="unknown experiment"):
+        main(["run", "e99"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

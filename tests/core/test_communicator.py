@@ -1,0 +1,157 @@
+"""Communicator + SwitchOrders unit tests (outside the full middleware)."""
+
+import pytest
+
+from repro.core.communicator import (
+    LinuxCommunicator,
+    SwitchOrders,
+    WindowsCommunicator,
+)
+from repro.core.controller import DualBootMenuSpec
+from repro.core.controller_v2 import ControllerV2
+from repro.core.detector import PbsDetector, WinHpcDetector
+from repro.core.policy import FcfsPolicy, SwitchDecision
+from repro.core.wire import QueueStateMessage
+from repro.errors import MiddlewareError
+from repro.netsvc import DhcpServer, Network, TftpServer
+from repro.pbs import JobSpec, PbsCommands, PbsServer
+from repro.simkernel import MINUTE, Simulator
+from repro.storage import Filesystem, FsType
+from repro.winhpc import HpcSchedulerConnection, WinHpcScheduler, WinJobSpec
+
+
+@pytest.fixture()
+def rig():
+    """PBS + WinHPC + v2 controller on a bare network (no real nodes)."""
+    sim = Simulator()
+    network = Network(sim)
+    linhead = network.register("eridani")
+    winhead = network.register("winhead")
+
+    pbs = PbsServer(sim)
+    for i in range(1, 5):
+        pbs.create_node(f"enode{i:02d}", np=4)
+        pbs.node_up(f"enode{i:02d}")
+    winhpc = WinHpcScheduler(sim)
+    for i in range(1, 5):
+        winhpc.add_node(f"enode{i:02d}", cores=4)
+
+    fs = Filesystem(FsType.EXT3)
+    controller = ControllerV2(
+        DualBootMenuSpec(boot_partition=2, root_partition=6),
+        tftp=TftpServer(fs),
+        dhcp=DhcpServer(),
+    )
+    controller.prepare_cluster()
+    orders = SwitchOrders(pbs, winhpc, controller)
+    listener = linhead.listen(5800)
+    linux = LinuxCommunicator(
+        sim=sim,
+        listener=listener,
+        detector=PbsDetector(PbsCommands(pbs)),
+        policy=FcfsPolicy(),
+        orders=orders,
+        cores_per_node=4,
+    )
+    sdk = HpcSchedulerConnection()
+    sdk.connect(winhpc)
+    windows = WindowsCommunicator(
+        sim=sim,
+        host=winhead,
+        detector=WinHpcDetector(sdk),
+        linux_head="eridani",
+        port=5800,
+        cycle_s=10 * MINUTE,
+    )
+    return sim, pbs, winhpc, controller, orders, linux, windows, listener
+
+
+def test_windows_communicator_reports_every_cycle(rig):
+    sim, *_, windows, listener = rig
+    sim.spawn(windows.run())
+    sim.run(until=35 * MINUTE)
+    assert windows.reports_sent == 4  # t=0,10,20,30
+    assert len(listener) == 4
+    message = listener.try_get()
+    assert message.payload == "00000none"
+
+
+def test_cycle_validation(rig):
+    sim, *_, windows, _ = rig
+    with pytest.raises(MiddlewareError):
+        WindowsCommunicator(
+            sim=sim, host=windows.host, detector=windows.detector,
+            linux_head="eridani", port=1, cycle_s=0,
+        )
+
+
+def test_handle_no_demand_decides_nothing(rig):
+    sim, pbs, winhpc, controller, orders, linux, *_ = rig
+    decision = linux.handle("00000none")
+    assert not decision.is_switch
+    assert len(linux.decisions) == 1
+    assert linux.decisions[0].linux_wire == "00000none"
+
+
+def test_handle_windows_stuck_issues_pbs_switch_jobs(rig):
+    sim, pbs, winhpc, controller, orders, linux, *_ = rig
+    decision = linux.handle(
+        QueueStateMessage.stuck_queue(8, "7").encode()
+    )
+    assert decision.target_os == "windows"
+    assert decision.num_nodes == 2  # 8 cpus / 4 per node
+    assert orders.pending_to_windows() == 2
+    assert controller.current_target() == "windows"
+    switch_jobs = [j for j in pbs.jobs.values() if j.tag == "os-switch"]
+    assert len(switch_jobs) == 2
+    assert all(j.name == "release_1_node" for j in switch_jobs)
+
+
+def test_pending_switches_prevent_double_issue(rig):
+    sim, pbs, winhpc, controller, orders, linux, *_ = rig
+    wire = QueueStateMessage.stuck_queue(8, "7").encode()
+    linux.handle(wire)
+    decision = linux.handle(wire)  # next cycle, switches still pending
+    assert not decision.is_switch
+    assert orders.pending_to_windows() == 2  # unchanged
+
+
+def test_handle_linux_stuck_issues_winhpc_switch_jobs(rig):
+    sim, pbs, winhpc, controller, orders, linux, *_ = rig
+    # make linux stuck: all PBS nodes down + one queued job
+    for host in list(pbs.nodes):
+        pbs.node_down(host)
+    pbs.qsub(JobSpec(name="md", nodes=1, ppn=4, runtime_s=60.0))
+    # windows side has idle nodes
+    for i in range(1, 5):
+        winhpc.node_online(f"enode{i:02d}")
+    decision = linux.handle("00000none")
+    assert decision.target_os == "linux"
+    assert decision.num_nodes == 1
+    assert orders.pending_to_linux() == 1
+    assert controller.current_target() == "linux"
+    switch_jobs = [j for j in winhpc.jobs.values() if j.tag == "os-switch"]
+    assert len(switch_jobs) == 1
+    assert switch_jobs[0].unit.value == "Node"
+
+
+def test_both_stuck_no_orders(rig):
+    sim, pbs, winhpc, controller, orders, linux, *_ = rig
+    for host in list(pbs.nodes):
+        pbs.node_down(host)
+    pbs.qsub(JobSpec(name="md", nodes=1, ppn=4, runtime_s=60.0))
+    decision = linux.handle(QueueStateMessage.stuck_queue(4, "9").encode())
+    assert not decision.is_switch
+    assert orders.orders_issued == 0
+
+
+def test_daemon_loop_reacts_to_incoming_wire(rig):
+    sim, pbs, winhpc, controller, orders, linux, windows, listener = rig
+    sim.spawn(linux.run())
+    winhpc_job = winhpc.submit(
+        WinJobSpec(name="render", amount=4, runtime_s=60.0)
+    )  # queued: no online windows nodes -> windows stuck
+    sim.spawn(windows.run())
+    sim.run(until=1 * MINUTE)
+    assert len(linux.decisions) == 1
+    assert linux.decisions[0].decision.is_switch

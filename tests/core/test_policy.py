@@ -1,0 +1,135 @@
+"""Switch-policy tests: FCFS plus the §V extensions."""
+
+import pytest
+
+from repro.core.policy import (
+    ClusterView,
+    FcfsPolicy,
+    ReservePolicy,
+    SwitchDecision,
+    ThresholdPolicy,
+)
+from repro.core.wire import QueueStateMessage
+
+IDLE = QueueStateMessage.idle()
+
+
+def stuck(cpus, jobid="1191.eridani"):
+    return QueueStateMessage.stuck_queue(cpus, jobid)
+
+
+def view(state=IDLE, idle=0, total=8, pending=0):
+    return ClusterView(
+        state=state, idle_nodes=idle, total_nodes=total, pending_switches=pending
+    )
+
+
+def test_no_stuck_no_switch():
+    decision = FcfsPolicy().decide(view(), view(), cores_per_node=4)
+    assert not decision.is_switch
+    assert decision.reason == "no queue stuck"
+
+
+def test_both_stuck_no_switch():
+    decision = FcfsPolicy().decide(
+        view(stuck(4)), view(stuck(4)), cores_per_node=4
+    )
+    assert not decision.is_switch
+
+
+def test_windows_stuck_linux_donates():
+    decision = FcfsPolicy().decide(
+        view(idle=3), view(stuck(4), idle=0), cores_per_node=4
+    )
+    assert decision.target_os == "windows"
+    assert decision.num_nodes == 1  # ceil(4/4)
+
+
+def test_linux_stuck_windows_donates():
+    decision = FcfsPolicy().decide(
+        view(stuck(16), idle=0), view(idle=8), cores_per_node=4
+    )
+    assert decision.target_os == "linux"
+    assert decision.num_nodes == 4  # ceil(16/4)
+
+
+def test_donation_capped_by_idle_nodes():
+    decision = FcfsPolicy().decide(
+        view(stuck(64)), view(idle=2), cores_per_node=4
+    )
+    assert decision.num_nodes == 2
+
+
+def test_no_idle_donor_means_no_switch():
+    decision = FcfsPolicy().decide(
+        view(stuck(4)), view(idle=0), cores_per_node=4
+    )
+    assert not decision.is_switch
+    assert "no idle nodes" in decision.reason
+
+
+def test_pending_switches_subtracted():
+    decision = FcfsPolicy().decide(
+        view(stuck(16), pending=3), view(idle=8), cores_per_node=4
+    )
+    assert decision.num_nodes == 1  # 4 needed - 3 already in flight
+
+
+def test_pending_covers_need_no_extra_switch():
+    decision = FcfsPolicy().decide(
+        view(stuck(4), pending=1), view(idle=8), cores_per_node=4
+    )
+    assert not decision.is_switch
+
+
+def test_at_least_one_node_even_for_tiny_jobs():
+    decision = FcfsPolicy().decide(
+        view(stuck(1)), view(idle=5), cores_per_node=4
+    )
+    assert decision.num_nodes == 1
+
+
+def test_threshold_policy_waits_for_streak():
+    policy = ThresholdPolicy(threshold=3)
+    for _ in range(2):
+        decision = policy.decide(view(stuck(4)), view(idle=4), cores_per_node=4)
+        assert not decision.is_switch
+    decision = policy.decide(view(stuck(4)), view(idle=4), cores_per_node=4)
+    assert decision.is_switch and decision.target_os == "linux"
+
+
+def test_threshold_policy_resets_on_recovery():
+    policy = ThresholdPolicy(threshold=2)
+    policy.decide(view(stuck(4)), view(idle=4), cores_per_node=4)
+    policy.decide(view(), view(idle=4), cores_per_node=4)  # recovered
+    decision = policy.decide(view(stuck(4)), view(idle=4), cores_per_node=4)
+    assert not decision.is_switch  # streak restarted
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        ThresholdPolicy(threshold=0)
+
+
+def test_reserve_policy_respects_floor():
+    policy = ReservePolicy(min_linux=6, min_windows=2)
+    # windows stuck, linux would donate 4 but has 8 total, floor 6 -> max 2
+    decision = policy.decide(
+        view(idle=8, total=8), view(stuck(16), total=0), cores_per_node=4
+    )
+    assert decision.target_os == "windows"
+    assert decision.num_nodes == 2
+
+
+def test_reserve_policy_blocks_at_floor():
+    policy = ReservePolicy(min_linux=8)
+    decision = policy.decide(
+        view(idle=8, total=8), view(stuck(4), total=0), cores_per_node=4
+    )
+    assert not decision.is_switch
+    assert "reserve floor" in decision.reason
+
+
+def test_decision_helpers():
+    assert not SwitchDecision.nothing().is_switch
+    assert SwitchDecision(target_os="linux", num_nodes=2).is_switch

@@ -1,0 +1,96 @@
+"""Long-horizon soak: two simulated days on the full Eridani replica.
+
+Invariants that must hold over thousands of events: core conservation,
+no lost jobs, no stuck switch jobs, bounded switching, closed intervals.
+"""
+
+import pytest
+
+from repro.compare import HybridSystem, run_scenario
+from repro.core.config import MiddlewareConfig
+from repro.core.policy import EagerPolicy
+from repro.simkernel import HOUR, MINUTE
+from repro.workloads import MixedWorkload
+
+
+@pytest.fixture(scope="module", params=["v2-fcfs", "v2-eager", "v1-fcfs"])
+def soak(request):
+    version = 1 if request.param.startswith("v1") else 2
+    eager = request.param.endswith("eager")
+    system = HybridSystem(
+        num_nodes=16, seed=99, version=version,
+        config=MiddlewareConfig(
+            version=version, check_cycle_s=10 * MINUTE,
+            eager_detectors=eager,
+        ),
+        policy=EagerPolicy() if eager else None,
+        label_suffix=f"-{request.param}",
+    )
+    jobs = MixedWorkload(
+        seed=99, rate_per_hour=10.0, windows_fraction=0.35,
+        horizon_s=48 * HOUR, max_cores=16, runtime_scale=0.3,
+    ).generate()
+    result = run_scenario(system, jobs, horizon_s=48 * HOUR)
+    return system, jobs, result
+
+
+def test_every_job_accounted_for(soak):
+    system, jobs, result = soak
+    assert result.submitted == len(jobs) > 300
+    assert result.completed + result.rejected <= result.submitted
+    assert result.rejected == 0
+    # drain leaves at most a handful of stragglers
+    assert result.completed >= result.submitted - 5
+
+
+def test_no_switch_jobs_left_behind(soak):
+    system, _, _ = soak
+    pbs = system.middleware.pbs
+    leftovers = [
+        j for j in pbs.jobs.values()
+        if j.tag == "os-switch" and j.state.value in ("Q", "R")
+    ]
+    assert leftovers == []
+    win_leftovers = [
+        j for j in system.middleware.winhpc.jobs.values()
+        if j.tag == "os-switch" and j.state.value in ("Queued", "Running")
+    ]
+    assert win_leftovers == []
+
+
+def test_core_accounting_consistent_at_end(soak):
+    system, _, _ = soak
+    middleware = system.middleware
+    for record in middleware.pbs.nodes.values():
+        assert len(record.core_jobs) == 0  # everything released
+    for record in middleware.winhpc.nodes.values():
+        assert record.cores_in_use == 0
+
+
+def test_no_node_ever_bricked(soak):
+    system, _, _ = soak
+    assert system.middleware.cluster.failed_nodes() == []
+
+
+def test_waits_non_negative_and_finite(soak):
+    system, _, result = soak
+    for record in system.recorder.workload_jobs():
+        if record.wait_s is not None:
+            assert 0 <= record.wait_s < 48 * HOUR
+
+
+def test_intervals_closed_and_ordered(soak):
+    system, _, _ = soak
+    per_node = {}
+    for interval in system.recorder.intervals:
+        per_node.setdefault(interval.node, []).append(interval)
+    for node, intervals in per_node.items():
+        for earlier, later in zip(intervals, intervals[1:]):
+            assert earlier.end is not None
+            assert earlier.end <= later.start  # reboot gap in between
+
+
+def test_switch_rate_bounded(soak):
+    system, _, result = soak
+    # one decision per 10-minute cycle over 48h bounds switching hard
+    assert 0 < result.switches < 48 * 6

@@ -1,0 +1,76 @@
+"""Figure-5 wire format tests."""
+
+import pytest
+
+from repro.core.wire import NO_JOB, QueueStateMessage
+from repro.errors import MiddlewareError
+
+
+def test_idle_message_matches_figure6():
+    assert QueueStateMessage.idle().encode() == "00000none"
+
+
+def test_stuck_message_matches_figure6():
+    msg = QueueStateMessage.stuck_queue(4, "1191.eridani.qgg.hud.ac.uk")
+    assert msg.encode() == "100041191.eridani.qgg.hud.ac.uk"
+
+
+def test_roundtrip_idle():
+    decoded = QueueStateMessage.decode("00000none")
+    assert decoded == QueueStateMessage.idle()
+    assert not decoded.stuck
+    assert not decoded.has_job
+
+
+def test_roundtrip_stuck():
+    wire = "100041191.eridani.qgg.hud.ac.uk"
+    decoded = QueueStateMessage.decode(wire)
+    assert decoded.stuck
+    assert decoded.needed_cpus == 4
+    assert decoded.stuck_jobid == "1191.eridani.qgg.hud.ac.uk"
+    assert decoded.encode() == wire
+    assert decoded.has_job
+
+
+def test_cpu_field_zero_padded():
+    assert QueueStateMessage.stuck_queue(64, "j").encode().startswith("10064")
+    assert QueueStateMessage.stuck_queue(1234, "j").encode().startswith("11234")
+
+
+def test_decode_tolerates_trailing_padding():
+    decoded = QueueStateMessage.decode("00000none" + " " * 10)
+    assert decoded.stuck_jobid == NO_JOB
+
+
+def test_field_positions_per_figure5():
+    wire = QueueStateMessage.stuck_queue(4, "X").encode()
+    assert wire[0] == "1"          # position 0: queue state
+    assert wire[1:5] == "0004"     # positions 1-4: needed CPUs
+    assert wire[5:] == "X"         # positions 5-: job id
+
+
+def test_validation_errors():
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage(stuck=True, needed_cpus=10000, stuck_jobid="x")
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage(stuck=True, needed_cpus=-1, stuck_jobid="x")
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage(stuck=True, needed_cpus=4, stuck_jobid="x" * 64)
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage(stuck=True, needed_cpus=4, stuck_jobid="")
+
+
+def test_decode_errors():
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage.decode("0000")  # too short
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage.decode("2" + "0000none")  # bad flag
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage.decode("1abcdnone")  # bad CPU field
+
+
+def test_max_width_jobid_roundtrips():
+    jobid = "j" * 63
+    wire = QueueStateMessage.stuck_queue(9999, jobid).encode()
+    assert len(wire) == 68
+    assert QueueStateMessage.decode(wire).stuck_jobid == jobid

@@ -1,0 +1,123 @@
+"""Unit tests for the LAN segment."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netsvc import Network
+from repro.simkernel import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def net(sim):
+    return Network(sim, latency_s=0.001)
+
+
+def test_register_and_lookup(net):
+    host = net.register("linhead")
+    assert net.host("linhead") is host
+    assert net.has_host("linhead")
+    assert not net.has_host("winhead")
+
+
+def test_duplicate_name_rejected(net):
+    net.register("a")
+    with pytest.raises(NetworkError):
+        net.register("a")
+
+
+def test_unknown_host_lookup_raises(net):
+    with pytest.raises(NetworkError):
+        net.host("ghost")
+
+
+def test_negative_latency_rejected(sim):
+    with pytest.raises(NetworkError):
+        Network(sim, latency_s=-1)
+
+
+def test_message_delivery_with_latency(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    inbox = b.listen(5000)
+    a.send("b", 5000, "hello")
+    assert len(inbox) == 0  # not yet delivered
+    sim.run()
+    assert sim.now == 0.001
+    msg = inbox.try_get()
+    assert (msg.src, msg.dst, msg.port, msg.payload) == ("a", "b", 5000, "hello")
+
+
+def test_messages_ordered(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    inbox = b.listen(1)
+    for i in range(5):
+        a.send("b", 1, i)
+    sim.run()
+    got = [inbox.try_get().payload for _ in range(5)]
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_send_to_unknown_host_is_dropped(sim, net):
+    a = net.register("a")
+    a.send("ghost", 1, "x")
+    sim.run()
+    assert net.messages_dropped == 1
+
+
+def test_send_to_unbound_port_is_dropped(sim, net):
+    a = net.register("a")
+    net.register("b")
+    a.send("b", 99, "x")
+    sim.run()
+    assert net.messages_dropped == 1
+
+
+def test_send_to_offline_host_is_dropped(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    b.listen(1)
+    b.online = False
+    a.send("b", 1, "x")
+    sim.run()
+    assert net.messages_dropped == 1
+
+
+def test_send_from_unknown_host_raises(net):
+    with pytest.raises(NetworkError):
+        net.deliver("ghost", "a", 1, "x")
+
+
+def test_double_bind_rejected(net):
+    b = net.register("b")
+    b.listen(7)
+    with pytest.raises(NetworkError):
+        b.listen(7)
+
+
+def test_close_listener_allows_rebind(net):
+    b = net.register("b")
+    listener = b.listen(7)
+    net.close_listener(listener)
+    b.listen(7)  # no error
+
+
+def test_blocking_receive_in_process(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    inbox = b.listen(1)
+    got = []
+
+    def server():
+        msg = yield inbox.get()
+        got.append((sim.now, msg.payload))
+
+    sim.spawn(server())
+    sim.schedule(5.0, a.send, "b", 1, "late")
+    sim.run()
+    assert got == [(5.001, "late")]

@@ -1,0 +1,64 @@
+"""C3 cexec/cpush/cget tests."""
+
+import pytest
+
+from repro.core import MiddlewareConfig, build_hybrid_cluster
+from repro.errors import MiddlewareError
+from repro.oscar.c3 import C3Tools, _run_sync
+from repro.simkernel import MINUTE
+
+
+@pytest.fixture(scope="module")
+def hybrid():
+    h = build_hybrid_cluster(
+        num_nodes=4, seed=6, version=2,
+        config=MiddlewareConfig(version=2, initial_windows_nodes=1),
+    )
+    h.deploy()
+    h.wait_for_nodes()
+    return h
+
+
+def test_cexec_reaches_linux_nodes_only(hybrid):
+    c3 = C3Tools(hybrid.cluster)
+    result = c3.cexec("echo hello")
+    assert len(result.results) == 3  # 3 linux, 1 windows
+    assert result.unreachable == ["enode01"]  # the windows one
+    assert not result.ok
+    assert all(r.output == ["hello"] for r in result.results.values())
+
+
+def test_cexec_subset(hybrid):
+    c3 = C3Tools(hybrid.cluster)
+    subset = [hybrid.cluster.node("enode02")]
+    result = c3.cexec("echo hi", nodes=subset)
+    assert list(result.results) == ["enode02"]
+    assert result.ok
+
+
+def test_cpush_and_cget_roundtrip(hybrid):
+    c3 = C3Tools(hybrid.cluster)
+    push = c3.cpush("/etc/motd", "maintenance at noon\n")
+    assert len(push.results) == 3
+    got = c3.cget("/etc/motd")
+    assert got["enode01"] is None  # windows side unreachable
+    assert got["enode02"] == "maintenance at noon\n"
+
+
+def test_cexec_command_failure_reported(hybrid):
+    c3 = C3Tools(hybrid.cluster)
+    result = c3.cexec("/usr/bin/missing-tool")
+    assert all(r.exit_code == 127 for r in result.results.values())
+    assert not result.ok
+
+
+def test_cexec_refuses_sleeping_commands(hybrid):
+    c3 = C3Tools(hybrid.cluster)
+    with pytest.raises(MiddlewareError, match="must not sleep"):
+        c3.cexec("sleep 10")
+
+
+def test_cget_missing_file_is_none(hybrid):
+    c3 = C3Tools(hybrid.cluster)
+    got = c3.cget("/no/such/file")
+    assert all(v is None for v in got.values())

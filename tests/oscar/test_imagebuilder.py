@@ -1,0 +1,89 @@
+"""Image building: patch gating, defect tracking, parted op generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.effort import AdminEffortLedger
+from repro.oscar import build_image, parse_ide_disk
+from repro.oscar.idedisk import IDE_DISK_STOCK, IDE_DISK_V1_MANUAL, IDE_DISK_V2
+from repro.oscar.packages import default_package_set
+
+
+def test_skip_label_rejected_unpatched():
+    layout = parse_ide_disk(IDE_DISK_V2)
+    with pytest.raises(ConfigurationError, match="skip"):
+        build_image(layout, patched=False)
+
+
+def test_skip_label_accepted_patched():
+    image = build_image(parse_ide_disk(IDE_DISK_V2), patched=True)
+    assert image.patched
+    assert not image.install_grub_mbr  # v2: PXE, leave the MBR alone
+    assert image.pending_issues() == []  # no FAT, no foreign NTFS lines
+
+
+def test_v1_layout_has_all_three_defects():
+    image = build_image(parse_ide_disk(IDE_DISK_V1_MANUAL))
+    assert image.install_grub_mbr
+    assert sorted(image.pending_issues()) == [
+        "fat-mkpart", "foreign-fstab", "rsync-fat",
+    ]
+
+
+def test_stock_layout_clean():
+    image = build_image(parse_ide_disk(IDE_DISK_STOCK))
+    assert image.pending_issues() == []
+
+
+def test_manual_edits_clear_issues_and_log_effort():
+    image = build_image(parse_ide_disk(IDE_DISK_V1_MANUAL))
+    ledger = AdminEffortLedger()
+    image.apply_all_manual_edits(ledger)
+    assert image.pending_issues() == []
+    assert ledger.count("edit-script") == 3
+
+
+def test_parted_ops_v1_layout():
+    image = build_image(parse_ide_disk(IDE_DISK_V1_MANUAL))
+    ops = image.parted_ops()
+    rendered = [op.render() for op in ops]
+    assert rendered[0] == "parted mkpart primary ntfs 150000MB"
+    assert rendered[1] == "parted mkpartfs primary ext3 100MB"
+    assert rendered[2] == "parted mkpart extended raw REST"
+    assert "parted mkpart logical fat32 100MB" in rendered  # the defect
+    image.edit_fat_mkpartfs()
+    rendered2 = [op.render() for op in image.parted_ops()]
+    assert "parted mkpartfs logical fat32 100MB" in rendered2
+
+
+def test_parted_ops_v2_layout():
+    image = build_image(parse_ide_disk(IDE_DISK_V2), patched=True)
+    rendered = [op.render() for op in image.parted_ops()]
+    assert rendered == [
+        "parted mkpart primary raw 16000MB",   # skip reservation
+        "parted mkpartfs primary ext3 100MB",
+        "parted mkpart extended raw REST",
+        "parted mkpartfs logical linux-swap 512MB",
+        "parted mkpartfs logical ext3 REST",
+    ]
+
+
+def test_dualboot_files_injected_on_fat_mount():
+    image = build_image(
+        parse_ide_disk(IDE_DISK_V1_MANUAL),
+        include_dualboot_files=True,
+    )
+    assert "/bootcontrol.pl" in image.trees["/boot/swap"]
+
+
+def test_dualboot_files_skipped_without_fat():
+    image = build_image(
+        parse_ide_disk(IDE_DISK_STOCK), include_dualboot_files=True
+    )
+    assert "/boot/swap" not in image.trees
+
+
+def test_packages_attached():
+    packages = default_package_set()
+    image = build_image(parse_ide_disk(IDE_DISK_STOCK), packages=packages)
+    assert any(p.name == "dualboot-oscar" for p in image.packages)

@@ -1,0 +1,111 @@
+"""VFS mount routing, services and binaries on OSInstance."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError
+from repro.oslayer import OSInstance, ServiceDef
+from repro.storage import Filesystem, FsType
+
+
+@pytest.fixture()
+def os_instance():
+    root = Filesystem(FsType.EXT3, label="root")
+    boot = Filesystem(FsType.EXT3, label="boot")
+    fat = Filesystem(FsType.FAT, label="DUALBOOT")
+    return OSInstance(
+        "linux", "enode01", {"/": root, "/boot": boot, "/boot/swap": fat}
+    )
+
+
+def test_requires_root_mount():
+    with pytest.raises(ConfigurationError):
+        OSInstance("linux", "x", {"/boot": Filesystem(FsType.EXT3)})
+
+
+def test_longest_prefix_mount_routing(os_instance):
+    os_instance.write("/etc/motd", "root fs")
+    os_instance.write("/boot/vmlinuz", "boot fs")
+    os_instance.write("/boot/swap/controlmenu.lst", "fat fs")
+    fs_root, _ = os_instance.resolve("/etc/motd")
+    fs_boot, rel_boot = os_instance.resolve("/boot/vmlinuz")
+    fs_fat, rel_fat = os_instance.resolve("/boot/swap/controlmenu.lst")
+    assert fs_root.label == "root"
+    assert (fs_boot.label, rel_boot) == ("boot", "/vmlinuz")
+    assert (fs_fat.label, rel_fat) == ("DUALBOOT", "/controlmenu.lst")
+
+
+def test_mountpoint_itself_resolves(os_instance):
+    fs, rel = os_instance.resolve("/boot/swap")
+    assert fs.label == "DUALBOOT"
+    assert rel == "/"
+
+
+def test_sibling_prefix_not_confused(os_instance):
+    # /boot2 is NOT under /boot
+    fs, rel = os_instance.resolve("/boot2/file")
+    assert fs.label == "root"
+    assert rel == "/boot2/file"
+
+
+def test_read_write_append_exists(os_instance):
+    os_instance.write("/log", "a\n")
+    os_instance.append("/log", "b\n")
+    assert os_instance.read("/log") == "a\nb\n"
+    assert os_instance.exists("/log")
+    assert not os_instance.exists("/missing")
+
+
+def test_append_creates_missing_file(os_instance):
+    os_instance.append("/new", "line\n")
+    assert os_instance.read("/new") == "line\n"
+
+
+def test_rename_within_one_mount(os_instance):
+    os_instance.write("/boot/swap/a.lst", "x")
+    os_instance.rename("/boot/swap/a.lst", "/boot/swap/b.lst")
+    assert os_instance.read("/boot/swap/b.lst") == "x"
+
+
+def test_cross_mount_rename_rejected(os_instance):
+    os_instance.write("/boot/swap/a.lst", "x")
+    with pytest.raises(StorageError, match="cross-filesystem"):
+        os_instance.rename("/boot/swap/a.lst", "/tmp/a.lst")
+
+
+def test_services_start_stop_order(os_instance):
+    log = []
+    for name in ("first", "second"):
+        os_instance.add_service(
+            ServiceDef(
+                name,
+                on_start=lambda osi, n=name: log.append(f"start {n}"),
+                on_stop=lambda osi, n=name: log.append(f"stop {n}"),
+            )
+        )
+    os_instance.start()
+    os_instance.stop()
+    assert log == ["start first", "start second", "stop second", "stop first"]
+
+
+def test_start_stop_idempotent(os_instance):
+    count = []
+    os_instance.add_service(ServiceDef("s", on_start=lambda o: count.append(1)))
+    os_instance.start()
+    os_instance.start()
+    assert count == [1]
+    os_instance.stop()
+    os_instance.stop()
+
+
+def test_service_added_while_running_starts_immediately(os_instance):
+    os_instance.start()
+    started = []
+    os_instance.add_service(ServiceDef("late", on_start=lambda o: started.append(1)))
+    assert started == [1]
+
+
+def test_binaries_registry(os_instance):
+    os_instance.register_binary("/usr/bin/tool", lambda osi, args: "ran " + args[0])
+    fn = os_instance.find_binary("/usr/bin/tool")
+    assert fn(os_instance, ["x"]) == "ran x"
+    assert os_instance.find_binary("/usr/bin/other") is None

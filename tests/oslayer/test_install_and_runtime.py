@@ -1,0 +1,115 @@
+"""Installers and from_disk runtime reconstruction."""
+
+import pytest
+
+from repro.errors import BootError, ConfigurationError
+from repro.boot import Firmware, resolve_boot
+from repro.boot.chain import BootEnvironment
+from repro.oslayer import LinuxOS, WindowsOS, install_linux, install_windows
+from repro.storage import Disk, FsType, PartitionKind
+
+
+def make_partitions():
+    """v1-style layout with raw partitions formatted but empty."""
+    disk = Disk(size_mb=250_000)
+    disk.create_partition(150_000).format(FsType.NTFS, label="Node")
+    disk.create_partition(100).format(FsType.EXT3, label="boot")
+    disk.create_partition(99_000, PartitionKind.EXTENDED)
+    disk.create_partition(512, PartitionKind.LOGICAL).format(FsType.SWAP)
+    disk.create_partition(100, PartitionKind.LOGICAL).format(FsType.FAT, label="DB")
+    disk.create_partition(98_000, PartitionKind.LOGICAL).format(FsType.EXT3)
+    return disk
+
+
+def test_install_linux_and_boot():
+    disk = make_partitions()
+    install_linux(disk, boot_partition=2, root_partition=7, swap_partition=5)
+    outcome = resolve_boot(
+        disk, Firmware.disk_first(), "02:00:5e:00:00:01", BootEnvironment()
+    )
+    assert outcome.os_name == "linux"
+    assert outcome.root_partition == 7
+
+
+def test_install_linux_requires_ext3_root():
+    disk = make_partitions()
+    with pytest.raises(ConfigurationError):
+        install_linux(disk, boot_partition=2, root_partition=1)  # NTFS
+
+
+def test_install_linux_no_mbr_leaves_disk_unbootable():
+    disk = make_partitions()
+    install_linux(disk, boot_partition=2, root_partition=7, mbr_grub=False)
+    with pytest.raises(BootError):
+        resolve_boot(
+            disk, Firmware.disk_first(), "02:00:5e:00:00:01", BootEnvironment()
+        )
+
+
+def test_install_windows_rewrites_mbr_and_active():
+    disk = make_partitions()
+    install_linux(disk, boot_partition=2, root_partition=7)  # GRUB in MBR
+    assert disk.mbr.boot_code.is_grub
+    install_windows(disk, system_partition=1)
+    assert disk.mbr.boot_code.loader == "windows"  # GRUB destroyed
+    assert disk.active_partition.number == 1
+
+
+def test_install_windows_requires_ntfs():
+    disk = make_partitions()
+    with pytest.raises(ConfigurationError):
+        install_windows(disk, system_partition=7)
+
+
+def test_install_windows_without_mbr_write_is_counterfactual_only():
+    disk = make_partitions()
+    install_linux(disk, boot_partition=2, root_partition=7)
+    install_windows(disk, system_partition=1, write_mbr=False)
+    assert disk.mbr.boot_code.is_grub  # preserved only in the ablation
+
+
+def test_linux_from_disk_builds_mounts_from_fstab():
+    disk = make_partitions()
+    install_linux(
+        disk, boot_partition=2, root_partition=7, swap_partition=5,
+        extra_mounts={"/boot/swap": 6},
+    )
+    runtime = LinuxOS.from_disk("enode01", disk, root_partition=7)
+    runtime.write("/boot/swap/flag", "x")
+    assert disk.filesystem(6).read("/flag") == "x"
+    runtime.write("/boot/marker", "y")
+    assert disk.filesystem(2).read("/marker") == "y"
+    runtime.write("/etc/other", "z")
+    assert disk.filesystem(7).read("/etc/other") == "z"
+
+
+def test_linux_from_disk_fails_without_fstab():
+    disk = make_partitions()
+    with pytest.raises(BootError, match="fstab"):
+        LinuxOS.from_disk("enode01", disk, root_partition=7)
+
+
+def test_linux_from_disk_fails_on_missing_mount_partition():
+    disk = make_partitions()
+    install_linux(disk, boot_partition=2, root_partition=7)
+    fs = disk.filesystem(7)
+    fs.write("/etc/fstab", fs.read("/etc/fstab") + "/dev/sda4 /data ext3 defaults 0 0\n")
+    with pytest.raises(BootError, match="/data"):
+        LinuxOS.from_disk("enode01", disk, root_partition=7)
+
+
+def test_windows_drive_letter_translation():
+    disk = make_partitions()
+    install_windows(disk, system_partition=1)
+    runtime = WindowsOS.from_disk("enode01", disk, system_partition=1)
+    runtime.write(r"C:\Program Files\app\config.txt", "data")
+    assert disk.filesystem(1).read("/Program Files/app/config.txt") == "data"
+    assert runtime.exists("/Program Files/app/config.txt")  # unix form too
+
+
+def test_windows_fat_partition_is_drive_d():
+    disk = make_partitions()
+    install_windows(disk, system_partition=1)
+    disk.filesystem(6).write("/controlmenu.lst", "menu")
+    runtime = WindowsOS.from_disk("enode01", disk, system_partition=1)
+    assert runtime.read(r"D:\controlmenu.lst") == "menu"

@@ -1,0 +1,107 @@
+"""qhold / qrls semantics."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.pbs import JobSpec, JobState, PbsCommands, PbsServer
+from repro.simkernel import Simulator
+
+
+@pytest.fixture()
+def server():
+    sim = Simulator()
+    srv = PbsServer(sim)
+    srv.create_node("enode01", np=4)
+    srv.node_up("enode01")
+    return srv
+
+
+def queued_spec(name, runtime=100.0):
+    return JobSpec(name=name, ppn=4, runtime_s=runtime)
+
+
+def test_hold_skips_scheduling_until_release(server):
+    filler = server.qsub(queued_spec("filler"))
+    held = server.qsub(queued_spec("held"))
+    server.qhold(held)
+    server.sim.run(until=150.0)
+    # filler finished at t=100; the held job did NOT start in its place
+    assert server.jobs[held].state is JobState.HELD
+    server.qrls(held)
+    assert server.jobs[held].state is JobState.RUNNING
+    server.sim.run()
+    assert server.jobs[held].exit_status == 0
+
+
+def test_held_job_does_not_block_later_jobs(server):
+    filler = server.qsub(queued_spec("filler", runtime=10.0))
+    held = server.qsub(queued_spec("held"))
+    behind = server.qsub(queued_spec("behind", runtime=10.0))
+    server.qhold(held)
+    server.sim.run(until=50.0)
+    # `behind` overtook the held job (held doesn't head-of-line block)
+    assert server.jobs[behind].state is JobState.COMPLETED
+    assert server.jobs[held].state is JobState.HELD
+
+
+def test_held_job_keeps_queue_position(server):
+    filler = server.qsub(queued_spec("filler"))
+    held = server.qsub(queued_spec("held"))
+    later = server.qsub(queued_spec("later"))
+    server.qhold(held)
+    server.qrls(held)
+    # after release it is still ahead of `later`
+    names = [server.jobs[j].name for j in server.queue_order]
+    assert names.index("held") < names.index("later")
+
+
+def test_hold_running_job_rejected(server):
+    jobid = server.qsub(queued_spec("running"))
+    with pytest.raises(SchedulerError, match="only queued"):
+        server.qhold(jobid)
+
+
+def test_release_unheld_rejected(server):
+    server.qsub(queued_spec("filler"))
+    jobid = server.qsub(queued_spec("queued"))
+    with pytest.raises(SchedulerError, match="not held"):
+        server.qrls(jobid)
+
+
+def test_qdel_held_job(server):
+    server.qsub(queued_spec("filler"))
+    held = server.qsub(queued_spec("held"))
+    server.qhold(held)
+    server.qdel(held)
+    assert server.jobs[held].state is JobState.COMPLETED
+    assert held not in server.queue_order
+
+
+def test_held_state_renders_as_H(server):
+    commands = PbsCommands(server)
+    server.qsub(queued_spec("filler"))
+    held = server.qsub(queued_spec("held"))
+    server.qhold(held)
+    assert "    job_state = H" in commands.qstat_f()
+
+
+def test_held_jobs_invisible_to_detector(server):
+    """A held job is parked by the admin — it is not pent-up demand, so
+    the dual-boot detector must not switch nodes for it."""
+    from repro.core.detector import PbsDetector
+
+    server.node_down("enode01")
+    jobid = server.qsub(queued_spec("held"))
+    server.qhold(jobid)
+    report = PbsDetector(PbsCommands(server)).check()
+    assert report.wire == "00000none"
+
+
+def test_commands_facade_hold_release(server):
+    commands = PbsCommands(server)
+    server.qsub(queued_spec("filler"))
+    held = commands.qsub("#PBS -N held\n#PBS -l nodes=1:ppn=4\nsleep 1\n")
+    commands.qhold(held)
+    assert server.jobs[held].state is JobState.HELD
+    commands.qrls(held)
+    assert server.jobs[held].state is JobState.QUEUED

@@ -1,0 +1,87 @@
+"""#PBS directive parsing (Figure 4 header)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.pbs import parse_pbs_script
+
+FIGURE4_HEADER = """\
+#####################################
+### Job Submission Script ###
+#####################################
+#
+#!/bin/bash
+#PBS -l nodes=1:ppn=4
+#PBS -N release_1_node
+#PBS -q default
+#PBS -j oe
+#PBS -o reboot_log.out
+#PBS -r n
+#
+echo body
+"""
+
+
+def test_parse_figure4_directives():
+    spec = parse_pbs_script(FIGURE4_HEADER)
+    assert spec.nodes == 1
+    assert spec.ppn == 4
+    assert spec.total_cores == 4
+    assert spec.name == "release_1_node"
+    assert spec.queue == "default"
+    assert spec.join_oe
+    assert spec.output_path == "reboot_log.out"
+    assert not spec.rerunnable
+    assert spec.script == FIGURE4_HEADER
+
+
+def test_defaults_without_directives():
+    spec = parse_pbs_script("echo hi\n")
+    assert (spec.nodes, spec.ppn) == (1, 1)
+    assert spec.name == "STDIN"
+    assert spec.rerunnable
+
+
+def test_directives_after_first_command_ignored():
+    spec = parse_pbs_script("echo hi\n#PBS -N late\n")
+    assert spec.name == "STDIN"
+
+
+def test_nodes_without_ppn():
+    spec = parse_pbs_script("#PBS -l nodes=3\n")
+    assert (spec.nodes, spec.ppn) == (3, 1)
+
+
+def test_walltime_parsing():
+    spec = parse_pbs_script("#PBS -l walltime=01:30:15\n")
+    assert spec.walltime_s == 5415.0
+
+
+def test_combined_resource_list():
+    spec = parse_pbs_script("#PBS -l nodes=2:ppn=4,walltime=00:10:00\n")
+    assert (spec.nodes, spec.ppn, spec.walltime_s) == (2, 4, 600.0)
+
+
+def test_variable_directive():
+    spec = parse_pbs_script("#PBS -v FOO=1,BAR=two\n")
+    assert spec.variables == {"FOO": "1", "BAR": "two"}
+
+
+def test_bad_resource_list():
+    with pytest.raises(SchedulerError):
+        parse_pbs_script("#PBS -l gpus=2\n")
+
+
+def test_unknown_flag():
+    with pytest.raises(SchedulerError):
+        parse_pbs_script("#PBS -Z whatever\n")
+
+
+def test_malformed_directive():
+    with pytest.raises(SchedulerError):
+        parse_pbs_script("#PBS nodes=1\n")
+
+
+def test_name_requires_value():
+    with pytest.raises(SchedulerError):
+        parse_pbs_script("#PBS -N\n")

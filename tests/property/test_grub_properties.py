@@ -1,0 +1,86 @@
+"""Property-based tests for menu.lst parse/render round-trips."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.boot.grubcfg import GrubConfig, GrubEntry, parse_grub_config, render_grub_config
+
+title_text = st.text(
+    alphabet=string.ascii_letters + string.digits + "._- ",
+    min_size=1,
+    max_size=40,
+).filter(lambda s: s.strip() == s and s)
+
+linux_entry = st.builds(
+    lambda title, boot, root: GrubEntry(
+        title=title + "-linux",
+        commands=[
+            ("root", f"(hd0,{boot})"),
+            ("kernel", f"/vmlinuz ro root=/dev/sda{root}"),
+            ("initrd", "/initrd.gz"),
+        ],
+    ),
+    title=title_text,
+    boot=st.integers(min_value=0, max_value=7),
+    root=st.integers(min_value=1, max_value=9),
+)
+
+windows_entry = st.builds(
+    lambda title, part: GrubEntry(
+        title=title + "-windows",
+        commands=[("rootnoverify", f"(hd0,{part})"), ("chainloader", "+1")],
+    ),
+    title=title_text,
+    part=st.integers(min_value=0, max_value=3),
+)
+
+configs = st.builds(
+    lambda entries, timeout, hidden, default: GrubConfig(
+        default=default % max(1, len(entries)),
+        timeout=timeout,
+        hiddenmenu=hidden,
+        entries=entries,
+    ),
+    entries=st.lists(st.one_of(linux_entry, windows_entry), min_size=1, max_size=5),
+    timeout=st.one_of(st.none(), st.integers(min_value=0, max_value=60)),
+    hidden=st.booleans(),
+    default=st.integers(min_value=0, max_value=100),
+)
+
+
+@given(config=configs, style=st.sampled_from(["=", " "]))
+def test_parse_render_roundtrip(config, style):
+    text = render_grub_config(config, default_style=style)
+    back = parse_grub_config(text)
+    assert back.default == config.default
+    assert back.timeout == config.timeout
+    assert back.hiddenmenu == config.hiddenmenu
+    assert [e.title for e in back.entries] == [e.title for e in config.entries]
+    assert [e.commands for e in back.entries] == [
+        e.commands for e in config.entries
+    ]
+
+
+@given(config=configs)
+def test_default_entry_always_resolvable(config):
+    # our builder keeps default in range; default_entry must never raise
+    entry = config.default_entry()
+    assert entry is config.entries[config.default]
+
+
+@given(config=configs, target=st.sampled_from(["linux", "windows"]))
+def test_switch_grub_default_idempotent(config, target):
+    from repro.core.bootcontrol import switch_grub_default
+    from repro.errors import BootError
+
+    text = render_grub_config(config, default_style=" ")
+    try:
+        once = switch_grub_default(text, target)
+    except BootError:
+        # no entry with that OS tag in this generated config
+        return
+    twice = switch_grub_default(once, target)
+    assert once == twice
+    selected = parse_grub_config(once).default_entry()
+    assert selected.title.endswith(f"-{target}")

@@ -1,0 +1,79 @@
+"""Property-based tests for the event queue and scheduler invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pbs import JobSpec, JobState, PbsServer
+from repro.simkernel import Simulator, Timeout
+
+
+@settings(max_examples=60)
+@given(delays=st.lists(st.floats(min_value=0, max_value=1000), max_size=40))
+def test_events_execute_in_time_order_with_fifo_ties(delays):
+    sim = Simulator()
+    log = []
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, log.append, (delay, index))
+    sim.run()
+    assert log == sorted(log)  # time asc, then insertion order
+
+
+@settings(max_examples=40)
+@given(delays=st.lists(st.floats(min_value=0.001, max_value=100), min_size=1, max_size=20))
+def test_clock_never_goes_backwards(delays):
+    sim = Simulator()
+    seen = []
+
+    def proc(ds):
+        for d in ds:
+            yield Timeout(d)
+            seen.append(sim.now)
+
+    sim.spawn(proc(delays))
+    sim.run()
+    assert seen == sorted(seen)
+    assert abs(seen[-1] - sum(delays)) < 1e-6
+
+
+job_stream = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=2),   # nodes
+        st.integers(min_value=1, max_value=4),   # ppn
+        st.floats(min_value=1.0, max_value=500.0),  # runtime
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(jobs=job_stream)
+def test_pbs_conservation_and_fifo_start_order(jobs):
+    sim = Simulator()
+    server = PbsServer(sim)
+    for i in range(1, 5):
+        server.create_node(f"n{i:02d}", np=4)
+        server.node_up(f"n{i:02d}")
+    total = server.free_cores()
+
+    ids = [
+        server.qsub(JobSpec(name=f"j{i}", nodes=n, ppn=p, runtime_s=r))
+        for i, (n, p, r) in enumerate(jobs)
+    ]
+    # conservation during execution: free + allocated == total
+    while sim.step():
+        allocated = sum(
+            len(record.core_jobs) for record in server.nodes.values()
+        )
+        assert server.free_cores() + allocated == total
+
+    # everything completed with sane accounting
+    for jobid in ids:
+        job = server.jobs[jobid]
+        assert job.state is JobState.COMPLETED
+        assert job.wait_time_s >= 0
+        assert job.end_time >= job.start_time
+    assert server.free_cores() == total
+
+    # strict FCFS: start times are non-decreasing in submission order
+    starts = [server.jobs[jobid].start_time for jobid in ids]
+    assert starts == sorted(starts)

@@ -1,0 +1,64 @@
+"""Property-based tests for the shell interpreter against a reference model."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.oslayer import OSInstance, run_script
+from repro.simkernel import Simulator
+from repro.storage import Filesystem, FsType
+
+filename = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+content = st.text(
+    alphabet=string.ascii_letters + string.digits + " _.", min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip() == s and ">" not in s and "#" not in s)
+
+# one scripted operation: (verb, filename, text)
+operation = st.one_of(
+    st.tuples(st.just("write"), filename, content),
+    st.tuples(st.just("append"), filename, content),
+    st.tuples(st.just("sleep"), st.just(""), st.integers(1, 5)),
+)
+
+
+def reference_model(ops):
+    """What the files should contain, per a trivial dict model."""
+    files = {}
+    elapsed = 0.0
+    for verb, name, payload in ops:
+        if verb == "write":
+            files[name] = payload + "\n"
+        elif verb == "append":
+            files[name] = files.get(name, "") + payload + "\n"
+        else:
+            elapsed += payload
+    return files, elapsed
+
+
+def script_for(ops):
+    lines = []
+    for verb, name, payload in ops:
+        if verb == "write":
+            lines.append(f"echo {payload} > /data/{name}")
+        elif verb == "append":
+            lines.append(f"echo {payload} >> /data/{name}")
+        else:
+            lines.append(f"sleep {payload}")
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(operation, max_size=15))
+def test_interpreter_matches_reference_model(ops):
+    sim = Simulator()
+    osi = OSInstance("linux", "node", {"/": Filesystem(FsType.EXT3)})
+    proc = sim.spawn(run_script(osi, script_for(ops)))
+    sim.run()
+    result = proc.result
+    assert result.ok
+
+    expected_files, expected_elapsed = reference_model(ops)
+    for name, body in expected_files.items():
+        assert osi.read(f"/data/{name}") == body
+    assert abs(sim.now - expected_elapsed) < 1e-9

@@ -1,0 +1,52 @@
+"""Property-based tests for the Figure-5 wire format."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.core.wire import JOBID_FIELD_WIDTH, QueueStateMessage
+
+jobid_chars = st.text(
+    alphabet=string.ascii_lowercase + string.digits + ".-",
+    min_size=1,
+    max_size=JOBID_FIELD_WIDTH,
+).filter(lambda s: s.strip() == s and s != "")
+
+
+@given(
+    stuck=st.booleans(),
+    cpus=st.integers(min_value=0, max_value=9999),
+    jobid=jobid_chars,
+)
+def test_encode_decode_roundtrip(stuck, cpus, jobid):
+    message = QueueStateMessage(stuck=stuck, needed_cpus=cpus, stuck_jobid=jobid)
+    decoded = QueueStateMessage.decode(message.encode())
+    assert decoded == message
+
+
+@given(
+    stuck=st.booleans(),
+    cpus=st.integers(min_value=0, max_value=9999),
+    jobid=jobid_chars,
+)
+def test_wire_field_positions_stable(stuck, cpus, jobid):
+    wire = QueueStateMessage(stuck, cpus, jobid).encode()
+    assert wire[0] == ("1" if stuck else "0")
+    assert wire[1:5] == f"{cpus:04d}"
+    assert wire[5:] == jobid
+    assert len(wire) <= 1 + 4 + JOBID_FIELD_WIDTH
+
+
+@given(
+    stuck=st.booleans(),
+    cpus=st.integers(min_value=0, max_value=9999),
+    jobid=jobid_chars,
+    padding=st.integers(min_value=0, max_value=20),
+)
+def test_decode_ignores_undefined_tail(stuck, cpus, jobid, padding):
+    wire = QueueStateMessage(stuck, cpus, jobid).encode()
+    # positions 68+ are "[Undefined]" — decode must ignore them, but only
+    # beyond the jobid field
+    if len(wire) == 1 + 4 + JOBID_FIELD_WIDTH:
+        decoded = QueueStateMessage.decode(wire + "x" * padding)
+        assert decoded.stuck_jobid == jobid

@@ -1,0 +1,85 @@
+"""Direct tests for small public helpers not covered elsewhere."""
+
+import pytest
+
+from repro.boot.pxelinux import default_config_path
+from repro.oslayer.linux import standalone_menu_lst
+from repro.pbs import JobSpec, PbsServer
+from repro.pbs.formats import render_pbsnodes_entry, render_qstat_full_entry
+from repro.pbs.scheduler import schedulable_backlog
+from repro.simkernel import Simulator
+from repro.simkernel.timeunits import format_clock, format_duration
+
+
+def test_default_config_path():
+    assert default_config_path() == "/pxelinux.cfg/default"
+
+
+def test_standalone_menu_lst_boots_directly():
+    from repro.boot.grubcfg import parse_grub_config
+
+    text = standalone_menu_lst(boot_partition=2, root_partition=6)
+    config = parse_grub_config(text)
+    assert len(config.entries) == 1
+    entry = config.entries[0]
+    assert entry.title.endswith("-linux")
+    assert entry.first("root") == "(hd0,1)"
+    assert "root=/dev/sda6" in entry.first("kernel")
+
+
+def test_format_clock():
+    assert format_clock(0) == "00:00:00"
+    assert format_clock(3661) == "01:01:01"
+    assert format_clock(25 * 3600) == "01:00:00"  # wraps past midnight
+
+
+def test_format_duration_negative():
+    assert format_duration(-90) == "-1m30.0s"
+
+
+@pytest.fixture()
+def server():
+    sim = Simulator()
+    srv = PbsServer(sim)
+    for i in range(1, 3):
+        srv.create_node(f"enode{i:02d}", np=4)
+        srv.node_up(f"enode{i:02d}")
+    return srv
+
+
+def test_render_single_entry_helpers(server):
+    jobid = server.qsub(JobSpec(name="solo", ppn=4, runtime_s=10.0))
+    job = server.jobs[jobid]
+    job_text = render_qstat_full_entry(job, server.server_name)
+    assert job_text.startswith(f"Job Id: {jobid}")
+    assert "    Job_Name = solo" in job_text
+    node_text = render_pbsnodes_entry(
+        server.node("enode01"), server.sim.now
+    )
+    assert node_text.startswith("enode01.")
+    assert "     np = 4" in node_text
+
+
+def test_schedulable_backlog_respects_fcfs(server):
+    # occupy everything
+    server.qsub(JobSpec(name="fill", nodes=2, ppn=4, runtime_s=100.0))
+    big = JobSpec(name="big", nodes=2, ppn=4, runtime_s=1.0)
+    small = JobSpec(name="small", nodes=1, ppn=1, runtime_s=1.0)
+    server.qsub(big)
+    server.qsub(small)
+    backlog = schedulable_backlog(server.queued_jobs(), server.nodes)
+    assert backlog == []  # nothing fits, strict FCFS blocks behind `big`
+
+
+def test_schedulable_backlog_consistent_prefix(server):
+    queued = [
+        server.jobs[server.qsub(JobSpec(name="fill", nodes=2, ppn=4, runtime_s=9.0))],
+    ]
+    # drain so nodes are free, then craft a queue snapshot by hand
+    server.sim.run()
+    a = server.jobs[server.qsub(JobSpec(name="a", nodes=1, ppn=4, runtime_s=50.0))]
+    b = server.jobs[server.qsub(JobSpec(name="b", nodes=1, ppn=4, runtime_s=50.0))]
+    c = server.jobs[server.qsub(JobSpec(name="c", nodes=1, ppn=4, runtime_s=50.0))]
+    # a and b started (2 nodes); c queued
+    backlog = schedulable_backlog(server.queued_jobs(), server.nodes)
+    assert backlog == []  # no free cores for c

@@ -1,0 +1,43 @@
+"""Node-template application to the InstallShare."""
+
+import pytest
+
+from repro.oslayer.windows import WindowsOS
+from repro.simkernel import Simulator
+from repro.storage import Filesystem, FsType
+from repro.winhpc import WinHpcScheduler
+from repro.winhpc.templates import NodeTemplate
+from repro.windeploy import InstallShare, WindowsDeployTool
+
+
+@pytest.fixture()
+def tool():
+    fs = Filesystem(FsType.NTFS, label="winhead")
+    head = WindowsOS("winhead", {"/": fs, "/c": fs})
+    return WindowsDeployTool(InstallShare(head), WinHpcScheduler(Simulator()))
+
+
+def test_apply_stock_template(tool):
+    tool.apply_template(NodeTemplate.stock())
+    assert tool.share.is_stock
+
+
+def test_apply_dualboot_template(tool):
+    tool.apply_template(NodeTemplate.dualboot_v1())
+    assert "size=150000" in tool.share.read_diskpart()
+    assert not tool.share.is_stock
+
+
+def test_template_drives_deploy_geometry(tool):
+    from repro.hardware import ComputeNode, INTEL_Q8200
+    from repro.hardware.nic import Nic, mac_for_index
+    from repro.simkernel.rng import RngStreams
+
+    tool.apply_template(NodeTemplate.dualboot_v1())
+    node = ComputeNode(
+        sim=tool.scheduler.sim, name="enode01", spec=INTEL_Q8200,
+        nic=Nic(mac_for_index(1)), rng=RngStreams(1),
+    )
+    tool.deploy_node(node)
+    assert node.disk.partition(1).size_mb == 150_000
+    assert node.disk.free_mb() == 100_000  # room left for Linux

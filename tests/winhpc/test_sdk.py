@@ -1,0 +1,82 @@
+"""SDK facade tests."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.simkernel import Simulator
+from repro.winhpc import (
+    HpcSchedulerConnection,
+    WinHpcScheduler,
+    WinJobState,
+    WinJobUnit,
+)
+from repro.winhpc.templates import NodeTemplate
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def conn(sim):
+    scheduler = WinHpcScheduler(sim)
+    for i in range(1, 3):
+        scheduler.add_node(f"enode{i:02d}", cores=4)
+        scheduler.node_online(f"enode{i:02d}")
+    connection = HpcSchedulerConnection()
+    connection.connect(scheduler)
+    return connection
+
+
+def test_unconnected_calls_rejected():
+    conn = HpcSchedulerConnection()
+    assert not conn.connected
+    with pytest.raises(SchedulerError):
+        conn.get_node_list()
+
+
+def test_create_and_submit_job(sim, conn):
+    spec = conn.create_job("render", unit=WinJobUnit.CORE, amount=2, runtime_s=30.0)
+    job = conn.submit_job(spec, owner="HPC\\render")
+    assert job.owner == "HPC\\render"
+    sim.run()
+    assert job.state is WinJobState.FINISHED
+
+
+def test_get_job_list_filters(sim, conn):
+    running = conn.submit_job(conn.create_job("r", amount=8, runtime_s=100.0))
+    queued = conn.submit_job(conn.create_job("q", amount=8, runtime_s=100.0))
+    assert conn.get_job_list(WinJobState.RUNNING) == [running]
+    assert conn.get_job_list(WinJobState.QUEUED) == [queued]
+    assert len(conn.get_job_list()) == 2
+
+
+def test_get_node_list_sorted(conn):
+    names = [r.hostname for r in conn.get_node_list()]
+    assert names == ["enode01", "enode02"]
+
+
+def test_counters(sim, conn):
+    conn.submit_job(conn.create_job("x", amount=3, runtime_s=50.0))
+    counters = conn.get_counters()
+    assert counters["total_cores"] == 8
+    assert counters["idle_cores"] == 5
+    assert counters["running_jobs"] == 1
+    assert counters["queued_jobs"] == 0
+    assert counters["online_nodes"] == 2
+
+
+def test_cancel_via_sdk(sim, conn):
+    job = conn.submit_job(conn.create_job("victim", amount=1, runtime_s=100.0))
+    conn.cancel_job(job.job_id)
+    sim.run(until=1.0)
+    assert job.state is WinJobState.CANCELED
+
+
+def test_node_templates():
+    stock = NodeTemplate.stock()
+    v1 = NodeTemplate.dualboot_v1()
+    assert "clean" in stock.diskpart_script
+    assert "size=150000" in v1.diskpart_script
+    assert "size=" not in stock.diskpart_script

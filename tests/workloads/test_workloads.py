@@ -1,0 +1,130 @@
+"""Workload generators, scenarios, traces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simkernel.rng import RngStreams
+from repro.workloads import (
+    MixedWorkload,
+    SCENARIOS,
+    WorkloadJob,
+    bursty_arrivals,
+    load_trace,
+    make_scenario,
+    poisson_arrivals,
+    save_trace,
+)
+
+
+def test_poisson_arrivals_within_horizon_and_sorted():
+    rng = RngStreams(1)
+    times = poisson_arrivals(rng, "t", rate_per_hour=10.0, horizon_s=3600.0)
+    assert times == sorted(times)
+    assert all(0 <= t < 3600.0 for t in times)
+    assert 2 <= len(times) <= 30  # ~10 expected
+
+
+def test_poisson_rate_validation():
+    with pytest.raises(ConfigurationError):
+        poisson_arrivals(RngStreams(0), "t", 0.0, 100.0)
+
+
+def test_bursty_arrivals_clustered():
+    rng = RngStreams(2)
+    times = bursty_arrivals(
+        rng, "b", horizon_s=3600.0, burst_count=3, jobs_per_burst=5,
+        burst_spread_s=60.0,
+    )
+    assert len(times) == 15
+    assert times == sorted(times)
+    # each burst lands inside its 60s window at the burst base
+    for index, t in enumerate(times):
+        assert (t % 1200.0) <= 60.0
+
+
+def test_bursty_validation():
+    with pytest.raises(ConfigurationError):
+        bursty_arrivals(RngStreams(0), "b", 100.0, 0, 5)
+
+
+def test_workload_job_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadJob("j", "beos", 4, 10.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        WorkloadJob("j", "linux", 0, 10.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        WorkloadJob("j", "linux", 4, -1.0, 0.0)
+
+
+def test_mixed_workload_fraction_zero_and_one():
+    all_linux = MixedWorkload(seed=4, windows_fraction=0.0).generate()
+    assert all_linux and all(j.os_name == "linux" for j in all_linux)
+    all_windows = MixedWorkload(seed=4, windows_fraction=1.0).generate()
+    assert all_windows and all(j.os_name == "windows" for j in all_windows)
+
+
+def test_mixed_workload_reproducible():
+    a = MixedWorkload(seed=7).generate()
+    b = MixedWorkload(seed=7).generate()
+    assert a == b
+    c = MixedWorkload(seed=8).generate()
+    assert a != c
+
+
+def test_mixed_workload_max_cores_cap():
+    jobs = MixedWorkload(seed=3, max_cores=4).generate()
+    assert all(j.cores <= 4 for j in jobs)
+
+
+def test_mixed_workload_validation():
+    with pytest.raises(ConfigurationError):
+        MixedWorkload(windows_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        MixedWorkload(runtime_scale=0.0)
+
+
+def test_all_named_scenarios_generate():
+    for name in SCENARIOS:
+        jobs = make_scenario(name, seed=1)
+        assert jobs
+        assert jobs == sorted(jobs, key=lambda j: j.arrival_s)
+
+
+def test_unknown_scenario():
+    with pytest.raises(ConfigurationError):
+        make_scenario("black_friday")
+
+
+def test_ga_case_study_shape():
+    jobs = make_scenario("ga_case_study", seed=1)
+    ga = [j for j in jobs if j.tag == "mdcs-ga"]
+    assert len(ga) == 12
+    assert all(j.os_name == "windows" and j.cores == 8 for j in ga)
+    # generations are sequential: arrivals strictly increasing
+    arrivals = [j.arrival_s for j in ga]
+    assert arrivals == sorted(arrivals)
+    assert any(j.os_name == "linux" for j in jobs)
+
+
+def test_trace_roundtrip():
+    jobs = MixedWorkload(seed=2, horizon_s=3600.0).generate()
+    text = save_trace(jobs)
+    back = load_trace(text)
+    assert back == sorted(jobs, key=lambda j: j.arrival_s)
+
+
+def test_trace_empty():
+    assert save_trace([]) == ""
+    assert load_trace("") == []
+
+
+def test_trace_bad_json():
+    with pytest.raises(ConfigurationError):
+        load_trace("{not json\n")
+
+
+def test_trace_unknown_field():
+    with pytest.raises(ConfigurationError):
+        load_trace('{"name": "x", "os_name": "linux", "cores": 1, '
+                   '"runtime_s": 1.0, "arrival_s": 0.0, "tag": "", '
+                   '"priority": 9}\n')
