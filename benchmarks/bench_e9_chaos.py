@@ -1,0 +1,14 @@
+"""E9 — control-plane chaos sweep (deterministic fault injection)."""
+
+from repro.experiments.e9_chaos import run
+
+
+def test_bench_e9_chaos(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["deterministic"]
+    assert h["all_daemons_survive_every_scenario"]
+    assert h["every_scenario_finishes_the_workload"]
+    assert h["retries_recover_lost_reports"]
+    assert h["watchdog_reissued_after_boot_hang"]

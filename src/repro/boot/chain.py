@@ -11,7 +11,7 @@ intervenes" condition that experiment E4 counts against v1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import BootError, NetworkError
 from repro.boot.firmware import Firmware
@@ -42,6 +42,10 @@ class BootEnvironment:
 
     dhcp: Optional[DhcpServer] = None
     tftp: Optional[TftpServer] = None
+    #: fault hook, called with the booting node's MAC before the firmware
+    #: walk; a non-``None`` return is a hang reason (the node freezes at
+    #: POST — the injector's hang-at-boot fault)
+    hang_hook: Optional[Callable[[str], Optional[str]]] = None
 
 
 @dataclass
@@ -74,6 +78,10 @@ def resolve_boot(
     once a loader has the CPU.
     """
     trace: List[str] = []
+    if env.hang_hook is not None:
+        reason = env.hang_hook(mac)
+        if reason is not None:
+            raise BootError(f"hang at boot: {reason}")
     for device in firmware.boot_order:
         if device == "pxe":
             outcome = _try_pxe(disk, mac, env, trace)

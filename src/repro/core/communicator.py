@@ -1,4 +1,4 @@
-"""The two head-node communicator daemons (Figure 11).
+"""The two head-node communicator daemons (Figure 11), hardened.
 
 Protocol, exactly as numbered in the paper's flowchart:
 
@@ -10,25 +10,51 @@ Protocol, exactly as numbered in the paper's flowchart:
 4. it decides (policy) and sets the target-OS flag;
 5. it sends reboot orders — switch batch jobs — to whichever scheduler
    owns the donor nodes; the jobs book free machines and reboot them.
+
+The paper's implementation assumes a perfect LAN.  This module survives
+an imperfect one:
+
+* **acked reports with retry** — the Linux side acks every valid report;
+  the Windows side retries unacked sends with exponential backoff plus
+  seeded jitter before giving up until the next cycle;
+* **tolerant decode** — a corrupt wire string is counted and discarded
+  instead of killing the daemon;
+* **staleness guard** — the deciding side timestamps the last valid
+  Windows report and refuses to base a switch decision on one older than
+  ``staleness_cycles`` communicator cycles;
+* **switch-order watchdog** — every issued switch order is tracked until
+  a node actually rejoins the target scheduler; orders whose node never
+  returns (hung at boot, lost to a partition) are marked failed after a
+  timeout so the in-flight count cannot leak and the switch is re-issued.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.controller import BootController
 from repro.core.detector import PbsDetector, WinHpcDetector
 from repro.core.policy import ClusterView, SwitchDecision, SwitchPolicy
-from repro.core.switchjob import SWITCH_TAG, pbs_switch_jobspec
+from repro.core.switchjob import (
+    SWITCH_TAG,
+    OrderState,
+    SwitchOrderRecord,
+    pbs_switch_jobspec,
+)
 from repro.core.wire import QueueStateMessage
 from repro.errors import MiddlewareError
-from repro.netsvc.network import Host, PortListener
+from repro.netsvc.network import Host, Message, PortListener
 from repro.pbs.job import JobState
 from repro.pbs.server import PbsServer
-from repro.simkernel import Simulator, Timeout
-from repro.winhpc.job import WinJobSpec, WinJobUnit
+from repro.simkernel import MINUTE, Simulator, Timeout
+from repro.simkernel.rng import RngStreams
+from repro.winhpc.job import WinJobSpec, WinJobState, WinJobUnit
 from repro.winhpc.scheduler import WinHpcScheduler
+
+#: Default watchdog deadline for one switch order: a reboot costs 3-5
+#: minutes (E1), so three times that is unambiguous failure.
+DEFAULT_ORDER_TIMEOUT_S = 15 * MINUTE
 
 
 @dataclass
@@ -42,7 +68,15 @@ class DecisionRecord:
 
 
 class SwitchOrders:
-    """Step 5: issuing reboot batch jobs and tracking what is in flight."""
+    """Step 5: issuing reboot batch jobs and tracking what is in flight.
+
+    Every order is a :class:`SwitchOrderRecord` that stays ``PENDING``
+    until a node joins the target scheduler (confirmation, matched oldest
+    first) or the watchdog deadline passes (:meth:`expire` marks it
+    ``FAILED`` and cancels its batch job if the job is still queued).
+    The policy's in-flight counts come from this ledger, so a node that
+    hangs at boot cannot absorb switch capacity forever.
+    """
 
     def __init__(
         self,
@@ -50,12 +84,24 @@ class SwitchOrders:
         winhpc: WinHpcScheduler,
         controller: BootController,
         pbs_user: str = "sliang",
+        order_timeout_s: float = DEFAULT_ORDER_TIMEOUT_S,
     ) -> None:
+        if order_timeout_s <= 0:
+            raise MiddlewareError("order timeout must be positive")
         self.pbs = pbs
         self.winhpc = winhpc
         self.controller = controller
         self.pbs_user = pbs_user
+        self.order_timeout_s = order_timeout_s
         self.orders_issued = 0
+        self.orders_confirmed = 0
+        self.orders_failed = 0
+        self.orders: List[SwitchOrderRecord] = []
+        self._next_order_id = 1
+        pbs.node_observers.append(self._on_pbs_node_event)
+        winhpc.node_observers.append(self._on_win_node_event)
+
+    # -- in-flight accounting ------------------------------------------------
 
     def pending_to_windows(self) -> int:
         """Switch jobs alive on the PBS side (nodes heading to Windows)."""
@@ -67,11 +113,26 @@ class SwitchOrders:
         )
 
     def pending_to_linux(self) -> int:
+        """Switch jobs alive on the WinHPC side (nodes heading to Linux)."""
         return sum(
             1
             for job in self.winhpc.jobs.values()
-            if job.tag == SWITCH_TAG and job.state.value in ("Queued", "Running")
+            if job.tag == SWITCH_TAG
+            and job.state in (WinJobState.QUEUED, WinJobState.RUNNING)
         )
+
+    def in_flight(self, target_os: str) -> int:
+        """Unresolved orders toward *target_os* — the watchdog-backed count.
+
+        Unlike the raw job-state scans above, this stays high through the
+        node's reboot window (the batch job is already dead then) and
+        drops when the watchdog declares the order failed.
+        """
+        return sum(
+            1 for o in self.orders if o.pending and o.target_os == target_os
+        )
+
+    # -- issuing -------------------------------------------------------------
 
     def issue(self, decision: SwitchDecision) -> None:
         """Set the flag (v2) and submit one switch job per node to move."""
@@ -87,12 +148,12 @@ class SwitchOrders:
             script = self.controller.linux_switch_script("windows")
             for _ in range(decision.num_nodes):
                 spec = pbs_switch_jobspec(script)
-                self.pbs.qsub(spec, owner=self.pbs_user)
-                self.orders_issued += 1
+                jobid = self.pbs.qsub(spec, owner=self.pbs_user)
+                self._record(target, jobid)
         else:
             script = self.controller.windows_switch_script("linux")
             for _ in range(decision.num_nodes):
-                self.winhpc.submit(
+                job = self.winhpc.submit(
                     WinJobSpec(
                         name="release_1_node",
                         unit=WinJobUnit.NODE,
@@ -102,11 +163,70 @@ class SwitchOrders:
                     ),
                     owner="dualboot-oscar",
                 )
-                self.orders_issued += 1
+                self._record(target, str(job.job_id))
+
+    def _record(self, target_os: str, jobid: str) -> None:
+        now = self.pbs.sim.now
+        self.orders.append(
+            SwitchOrderRecord(
+                order_id=self._next_order_id,
+                target_os=target_os,
+                issued_at=now,
+                deadline=now + self.order_timeout_s,
+                jobid=jobid,
+            )
+        )
+        self._next_order_id += 1
+        self.orders_issued += 1
+
+    # -- confirmation (node joined the target scheduler) ---------------------
+
+    def _on_pbs_node_event(self, event: str, hostname: str) -> None:
+        if event == "up":
+            self._confirm("linux", hostname)
+
+    def _on_win_node_event(self, event: str, hostname: str) -> None:
+        if event == "online":
+            self._confirm("windows", hostname)
+
+    def _confirm(self, target_os: str, hostname: str) -> None:
+        for order in self.orders:
+            if order.pending and order.target_os == target_os:
+                order.state = OrderState.CONFIRMED
+                order.resolved_at = self.pbs.sim.now
+                order.node = hostname
+                self.orders_confirmed += 1
+                return
+
+    # -- watchdog ------------------------------------------------------------
+
+    def expire(self, now: float) -> List[SwitchOrderRecord]:
+        """Fail every pending order past its deadline; cancel its batch job
+        if the job is still queued (it never even found a donor node)."""
+        expired = []
+        for order in self.orders:
+            if not order.pending or now < order.deadline:
+                continue
+            order.state = OrderState.FAILED
+            order.resolved_at = now
+            self.orders_failed += 1
+            self._cancel_stale_job(order)
+            expired.append(order)
+        return expired
+
+    def _cancel_stale_job(self, order: SwitchOrderRecord) -> None:
+        if order.target_os == "windows":
+            job = self.pbs.jobs.get(order.jobid)
+            if job is not None and job.state is JobState.QUEUED:
+                self.pbs.qdel(order.jobid)
+        else:
+            job = self.winhpc.jobs.get(int(order.jobid))
+            if job is not None and job.state is WinJobState.QUEUED:
+                self.winhpc.cancel(job.job_id)
 
 
 class LinuxCommunicator:
-    """The deciding daemon on the OSCAR head node (steps 3–5)."""
+    """The deciding daemon on the OSCAR head node (steps 3-5)."""
 
     def __init__(
         self,
@@ -116,14 +236,42 @@ class LinuxCommunicator:
         policy: SwitchPolicy,
         orders: SwitchOrders,
         cores_per_node: int = 4,
+        host: Optional[Host] = None,
+        ack_port: Optional[int] = None,
+        cycle_s: Optional[float] = None,
+        staleness_cycles: int = 3,
     ) -> None:
+        if staleness_cycles < 1:
+            raise MiddlewareError("staleness cap must be >= 1 cycle")
         self.sim = sim
         self.listener = listener
         self.detector = detector
         self.policy = policy
         self.orders = orders
         self.cores_per_node = cores_per_node
+        self.host = host
+        self.ack_port = ack_port
+        self.cycle_s = cycle_s
+        self.staleness_cycles = staleness_cycles
         self.decisions: List[DecisionRecord] = []
+        # hardened-path state: the timestamped last valid Windows report
+        self.last_windows_state: Optional[QueueStateMessage] = None
+        self.last_windows_wire: str = ""
+        self.last_report_at: Optional[float] = None
+        self._epoch = sim.now
+        self.reports_received = 0
+        self.corrupt_reports = 0
+        self.stale_skips = 0
+        self.acks_sent = 0
+
+    # -- views & decisions ---------------------------------------------------
+
+    @property
+    def staleness_cap_s(self) -> Optional[float]:
+        """Oldest acceptable report age, or ``None`` when cycle-agnostic."""
+        if self.cycle_s is None:
+            return None
+        return self.staleness_cycles * self.cycle_s
 
     def views(self, windows_state: QueueStateMessage):
         """Assemble both sides' ClusterViews from live scheduler state."""
@@ -134,19 +282,31 @@ class LinuxCommunicator:
             state=linux_report.message,
             idle_nodes=sum(1 for r in pbs.up_nodes() if not r.busy),
             total_nodes=len(pbs.up_nodes()),
-            pending_switches=self.orders.pending_to_linux(),
+            pending_switches=self.orders.in_flight("linux"),
         )
         windows_view = ClusterView(
             state=windows_state,
             idle_nodes=len(win.idle_nodes()),
             total_nodes=len(win.online_nodes()),
-            pending_switches=self.orders.pending_to_windows(),
+            pending_switches=self.orders.in_flight("windows"),
         )
         return linux_report, linux_view, windows_view
 
     def handle(self, windows_wire: str) -> SwitchDecision:
-        """One control evaluation (steps 3–5) for an incoming wire string."""
+        """One control evaluation (steps 3-5) for an incoming wire string.
+
+        Raises on a corrupt wire — callers wanting the tolerant path use
+        the daemon loop (:meth:`run`), which counts-and-discards instead.
+        """
         windows_state = QueueStateMessage.decode(windows_wire)
+        self.last_windows_state = windows_state
+        self.last_windows_wire = windows_wire
+        self.last_report_at = self.sim.now
+        return self._evaluate(windows_state, windows_wire)
+
+    def _evaluate(
+        self, windows_state: QueueStateMessage, windows_wire: str
+    ) -> SwitchDecision:
         linux_report, linux_view, windows_view = self.views(windows_state)
         decision = self.policy.decide(
             linux_view, windows_view, self.cores_per_node
@@ -162,15 +322,67 @@ class LinuxCommunicator:
         self.orders.issue(decision)
         return decision
 
+    # -- hardened receive path -----------------------------------------------
+
+    def _on_message(self, message: Message) -> Optional[SwitchDecision]:
+        """Tolerant ingest: decode, ack, decide — never raises on bad wire."""
+        wire = message.payload
+        try:
+            windows_state = QueueStateMessage.decode(wire)
+        except (MiddlewareError, TypeError, AttributeError):
+            self.corrupt_reports += 1
+            return None
+        self.reports_received += 1
+        self.last_windows_state = windows_state
+        self.last_windows_wire = wire
+        self.last_report_at = self.sim.now
+        if self.host is not None and self.ack_port is not None:
+            self.host.send(message.src, self.ack_port, ("ack", wire))
+            self.acks_sent += 1
+        return self._evaluate(windows_state, wire)
+
+    def tick(self) -> None:
+        """Heartbeat evaluation between reports (driven by the daemon).
+
+        * report fresher than one cycle: receipt-time evaluation already
+          covered it — do nothing;
+        * older than a cycle but within the staleness cap: re-evaluate with
+          the last state (a lost report must not freeze the control loop);
+        * older than the cap: record an explicit no-switch decision — the
+          guard that keeps stale data from triggering reboots.
+        """
+        cap = self.staleness_cap_s
+        if cap is None or self.cycle_s is None:
+            return
+        age = self.sim.now - (
+            self.last_report_at if self.last_report_at is not None else self._epoch
+        )
+        if age <= self.cycle_s:
+            return
+        if age <= cap and self.last_windows_state is not None:
+            self._evaluate(self.last_windows_state, self.last_windows_wire)
+            return
+        self.stale_skips += 1
+        self.decisions.append(
+            DecisionRecord(
+                time=self.sim.now,
+                windows_wire=self.last_windows_wire,
+                linux_wire="",
+                decision=SwitchDecision.nothing(
+                    f"windows report stale (age {age:.0f}s > cap {cap:.0f}s)"
+                ),
+            )
+        )
+
     def run(self):
         """Daemon process: react to every incoming queue-state message."""
         while True:
             message = yield self.listener.get()
-            self.handle(message.payload)
+            self._on_message(message)
 
 
 class WindowsCommunicator:
-    """The reporting daemon on the Windows head node (steps 1–2)."""
+    """The reporting daemon on the Windows head node (steps 1-2)."""
 
     def __init__(
         self,
@@ -180,21 +392,75 @@ class WindowsCommunicator:
         linux_head: str,
         port: int,
         cycle_s: float,
+        ack_listener: Optional[PortListener] = None,
+        max_retries: int = 2,
+        retry_base_s: float = 5.0,
+        ack_timeout_s: float = 10.0,
+        rng: Optional[RngStreams] = None,
     ) -> None:
         if cycle_s <= 0:
             raise MiddlewareError("communicator cycle must be positive")
+        if max_retries < 0:
+            raise MiddlewareError("max_retries must be >= 0")
+        if retry_base_s <= 0 or ack_timeout_s <= 0:
+            raise MiddlewareError("retry/ack timings must be positive")
         self.sim = sim
         self.host = host
         self.detector = detector
         self.linux_head = linux_head
         self.port = port
         self.cycle_s = cycle_s
-        self.reports_sent = 0
+        self.ack_listener = ack_listener
+        self.max_retries = max_retries
+        self.retry_base_s = retry_base_s
+        self.ack_timeout_s = ack_timeout_s
+        self.rng = rng
+        self.reports_sent = 0      # network sends, including retries
+        self.reports_acked = 0
+        self.reports_failed = 0    # gave up after every retry
+        self.retries = 0
+
+    def _send_report(self, wire: str):
+        """Send one report; with an ack channel, retry with backoff+jitter."""
+        if self.ack_listener is None:
+            # fire-and-forget, exactly the paper's implementation
+            self.host.send(self.linux_head, self.port, wire)
+            self.reports_sent += 1
+            return
+        for attempt in range(self.max_retries + 1):
+            while self.ack_listener.try_get() is not None:
+                pass  # drain acks from earlier cycles
+            self.host.send(self.linux_head, self.port, wire)
+            self.reports_sent += 1
+            yield Timeout(self.ack_timeout_s)
+            ack = self.ack_listener.try_get()
+            while ack is not None and ack.payload != ("ack", wire):
+                ack = self.ack_listener.try_get()
+            if ack is not None:
+                self.reports_acked += 1
+                return
+            if attempt < self.max_retries:
+                self.retries += 1
+                backoff = self.retry_base_s * (2 ** attempt)
+                if self.rng is not None:
+                    backoff += self.rng.uniform(
+                        "commswin:retry-jitter", 0.0, self.retry_base_s
+                    )
+                yield Timeout(backoff)
+        self.reports_failed += 1
 
     def run(self):
-        """Daemon process: report the Windows queue state every cycle."""
+        """Daemon process: report the Windows queue state every cycle.
+
+        Cycle boundaries stay anchored to the start epoch, so retries never
+        skew the long-run reporting cadence.
+        """
+        epoch = self.sim.now
+        cycle_index = 0
         while True:
             report = self.detector.check()
-            self.host.send(self.linux_head, self.port, report.wire)
-            self.reports_sent += 1
-            yield Timeout(self.cycle_s)
+            yield from self._send_report(report.wire)
+            cycle_index += 1
+            next_at = epoch + cycle_index * self.cycle_s
+            if next_at > self.sim.now:
+                yield Timeout(next_at - self.sim.now)

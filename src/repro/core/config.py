@@ -36,6 +36,16 @@ class MiddlewareConfig:
     #: §V extension: detectors advertise backlog in the CPU field even
     #: while jobs run (pair with EagerPolicy)
     eager_detectors: bool = False
+    #: hardened control plane: ack every report, retry unacked sends
+    comm_acks: bool = True
+    comm_max_retries: int = 2
+    comm_retry_base_s: float = 5.0
+    comm_ack_timeout_s: float = 10.0
+    #: refuse switch decisions on Windows reports older than this many cycles
+    staleness_cycles: int = 3
+    #: switch-order watchdog: orders unresolved after this are failed
+    order_timeout_s: float = 15 * MINUTE
+    watchdog_poll_s: float = MINUTE
 
     def __post_init__(self) -> None:
         if self.version not in (1, 2):
@@ -50,3 +60,11 @@ class MiddlewareConfig:
             raise ConfigurationError(
                 f"bad v1 switch method {self.v1_switch_method!r}"
             )
+        if self.comm_max_retries < 0:
+            raise ConfigurationError("comm_max_retries must be >= 0")
+        if self.comm_retry_base_s <= 0 or self.comm_ack_timeout_s <= 0:
+            raise ConfigurationError("retry/ack timings must be positive")
+        if self.staleness_cycles < 1:
+            raise ConfigurationError("staleness_cycles must be >= 1")
+        if self.order_timeout_s <= 0 or self.watchdog_poll_s <= 0:
+            raise ConfigurationError("watchdog timings must be positive")

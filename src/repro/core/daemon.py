@@ -3,14 +3,28 @@
 "The key to make the dual-boot cluster switch idle resources
 automatically, are the daemon (background) programs.  Two daemon programs
 are running at each head node" (§III.B.3).
+
+Beyond the paper's two processes, the hardened control plane runs two
+more on the Linux head:
+
+* a **staleness ticker** that re-evaluates (or refuses to act on) the
+  last Windows report between receipts, so a silent Windows side cannot
+  freeze or mislead the control loop;
+* a **switch-order watchdog** that periodically expires orders whose
+  node never rejoined the target scheduler.
+
+:meth:`DualBootDaemons.crash` / :meth:`~DualBootDaemons.restart` model a
+head-node daemon dying and coming back — the communicators keep their
+state across a restart, which is exactly why the staleness guard exists.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.communicator import (
+    DEFAULT_ORDER_TIMEOUT_S,
     LinuxCommunicator,
     SwitchOrders,
     WindowsCommunicator,
@@ -18,12 +32,30 @@ from repro.core.communicator import (
 from repro.core.controller import BootController
 from repro.core.detector import PbsDetector, WinHpcDetector
 from repro.core.policy import SwitchPolicy
+from repro.errors import MiddlewareError
 from repro.hardware.cluster import Cluster
+from repro.netsvc.network import Host
 from repro.pbs.commands import PbsCommands
 from repro.pbs.server import PbsServer
-from repro.simkernel import Process
+from repro.simkernel import MINUTE, Process, Simulator, Timeout
+from repro.simkernel.rng import RngStreams
 from repro.winhpc.scheduler import WinHpcScheduler
 from repro.winhpc.sdk import HpcSchedulerConnection
+
+
+def _ticker_loop(linux: LinuxCommunicator, cycle_s: float):
+    """Heartbeat offset half a cycle from the report cadence, so each tick
+    sees either a fresh report (no-op) or a genuinely missing one."""
+    yield Timeout(cycle_s / 2)
+    while True:
+        linux.tick()
+        yield Timeout(cycle_s)
+
+
+def _watchdog_loop(sim: Simulator, orders: SwitchOrders, poll_s: float):
+    while True:
+        yield Timeout(poll_s)
+        orders.expire(sim.now)
 
 
 @dataclass
@@ -35,11 +67,74 @@ class DualBootDaemons:
     linux_process: Process
     windows_process: Process
     orders: SwitchOrders
+    sim: Optional[Simulator] = None
+    linux_host: Optional[Host] = None
+    windows_host: Optional[Host] = None
+    ticker_process: Optional[Process] = None
+    watchdog_process: Optional[Process] = None
+    cycle_s: float = 10 * MINUTE
+    _crashed: set = field(default_factory=set)
 
     def stop(self) -> None:
-        """Kill both daemons (e.g. to freeze the system for analysis)."""
-        self.linux_process.kill()
-        self.windows_process.kill()
+        """Kill every control-plane process (freeze the system for analysis)."""
+        for process in (
+            self.linux_process,
+            self.windows_process,
+            self.ticker_process,
+            self.watchdog_process,
+        ):
+            if process is not None:
+                process.kill()
+
+    # -- crash / restart (fault injection entry points) ----------------------
+
+    def crash(self, side: str) -> None:
+        """Kill one head node's daemon(s) and take its host off the network."""
+        self._check_side(side)
+        if side in self._crashed:
+            return
+        self._crashed.add(side)
+        if side == "linux":
+            self.linux_process.kill()
+            if self.ticker_process is not None:
+                self.ticker_process.kill()
+            if self.linux_host is not None:
+                self.linux_host.online = False
+        else:
+            self.windows_process.kill()
+            if self.windows_host is not None:
+                self.windows_host.online = False
+
+    def restart(self, side: str) -> None:
+        """Bring a crashed daemon back (communicator state persists — the
+        staleness guard covers whatever it slept through)."""
+        self._check_side(side)
+        if side not in self._crashed:
+            return
+        self._crashed.discard(side)
+        if self.sim is None:
+            raise MiddlewareError("daemons were started without a simulator handle")
+        if side == "linux":
+            if self.linux_host is not None:
+                self.linux_host.online = True
+            self.linux_process = self.sim.spawn(
+                self.linux.run(), name="daemon:linux"
+            )
+            if self.ticker_process is not None:
+                self.ticker_process = self.sim.spawn(
+                    _ticker_loop(self.linux, self.cycle_s), name="daemon:ticker"
+                )
+        else:
+            if self.windows_host is not None:
+                self.windows_host.online = True
+            self.windows_process = self.sim.spawn(
+                self.windows.run(), name="daemon:windows"
+            )
+
+    @staticmethod
+    def _check_side(side: str) -> None:
+        if side not in ("linux", "windows"):
+            raise MiddlewareError(f"unknown head side {side!r}")
 
 
 def start_daemons(
@@ -53,17 +148,33 @@ def start_daemons(
     pbs_user: str = "sliang",
     cores_per_node: Optional[int] = None,
     eager_detectors: bool = False,
+    acks: bool = True,
+    max_retries: int = 2,
+    retry_base_s: float = 5.0,
+    ack_timeout_s: float = 10.0,
+    staleness_cycles: int = 3,
+    order_timeout_s: float = DEFAULT_ORDER_TIMEOUT_S,
+    watchdog_poll_s: float = MINUTE,
+    rng: Optional[RngStreams] = None,
 ) -> DualBootDaemons:
-    """Stand up both communicator daemons and return their handles."""
+    """Stand up the control plane and return its handles."""
     sim = cluster.sim
     if cores_per_node is None:
         cores_per_node = (
             cluster.compute_nodes[0].cores if cluster.compute_nodes else 4
         )
+    if rng is None:
+        rng = cluster.rng
 
-    orders = SwitchOrders(pbs, winhpc, controller, pbs_user=pbs_user)
+    orders = SwitchOrders(
+        pbs, winhpc, controller, pbs_user=pbs_user,
+        order_timeout_s=order_timeout_s,
+    )
 
     listener = cluster.linux_head.host.listen(port)
+    ack_listener = (
+        cluster.windows_head.host.listen(port + 1) if acks else None
+    )
     linux_daemon = LinuxCommunicator(
         sim=sim,
         listener=listener,
@@ -73,6 +184,10 @@ def start_daemons(
         policy=policy,
         orders=orders,
         cores_per_node=cores_per_node,
+        host=cluster.linux_head.host if acks else None,
+        ack_port=port + 1 if acks else None,
+        cycle_s=cycle_s,
+        staleness_cycles=staleness_cycles,
     )
 
     sdk = HpcSchedulerConnection()
@@ -84,6 +199,11 @@ def start_daemons(
         linux_head=cluster.linux_head.name,
         port=port,
         cycle_s=cycle_s,
+        ack_listener=ack_listener,
+        max_retries=max_retries,
+        retry_base_s=retry_base_s,
+        ack_timeout_s=ack_timeout_s,
+        rng=rng.spawn("communicator") if rng is not None else None,
     )
 
     return DualBootDaemons(
@@ -92,4 +212,14 @@ def start_daemons(
         linux_process=sim.spawn(linux_daemon.run(), name="daemon:linux"),
         windows_process=sim.spawn(windows_daemon.run(), name="daemon:windows"),
         orders=orders,
+        sim=sim,
+        linux_host=cluster.linux_head.host,
+        windows_host=cluster.windows_head.host,
+        ticker_process=sim.spawn(
+            _ticker_loop(linux_daemon, cycle_s), name="daemon:ticker"
+        ),
+        watchdog_process=sim.spawn(
+            _watchdog_loop(sim, orders, watchdog_poll_s), name="daemon:watchdog"
+        ),
+        cycle_s=cycle_s,
     )

@@ -135,6 +135,14 @@ class DualBootOscar:
             port=config.communicator_port,
             pbs_user=config.pbs_user,
             eager_detectors=config.eager_detectors,
+            acks=config.comm_acks,
+            max_retries=config.comm_max_retries,
+            retry_base_s=config.comm_retry_base_s,
+            ack_timeout_s=config.comm_ack_timeout_s,
+            staleness_cycles=config.staleness_cycles,
+            order_timeout_s=config.order_timeout_s,
+            watchdog_poll_s=config.watchdog_poll_s,
+            rng=self.cluster.rng,
         )
 
     def _deploy_windows_side(self) -> None:

@@ -18,12 +18,50 @@ Three script flavours:
 
 from __future__ import annotations
 
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
 from repro.core.bootcontrol import BOOTCONTROL_PATH, CONTROLMENU_PATH, VALID_TARGETS
 from repro.errors import MiddlewareError
 from repro.pbs.script import JobSpec
 
 SWITCH_JOB_NAME = "release_1_node"
 SWITCH_TAG = "os-switch"
+
+
+class OrderState(enum.Enum):
+    """Lifecycle of one issued switch order (watchdog bookkeeping)."""
+
+    PENDING = "pending"        # issued; node has not rejoined the target yet
+    CONFIRMED = "confirmed"    # a node joined the target scheduler for it
+    FAILED = "failed"          # watchdog timeout: the node never came back
+
+
+@dataclass
+class SwitchOrderRecord:
+    """One issued switch order, tracked from submission to resolution.
+
+    A switch order only *really* succeeds when a node rejoins the target
+    scheduler — the batch job itself is killed by the reboot it triggers
+    (exit 271, by design), so job state alone cannot distinguish "node is
+    mid-reboot" from "node hung at POST and will never return".  The
+    watchdog resolves every record one way or the other, so the in-flight
+    count can never leak.
+    """
+
+    order_id: int
+    target_os: str
+    issued_at: float
+    deadline: float
+    jobid: str
+    state: OrderState = OrderState.PENDING
+    resolved_at: Optional[float] = None
+    node: Optional[str] = None  # hostname whose join confirmed the order
+
+    @property
+    def pending(self) -> bool:
+        return self.state is OrderState.PENDING
 
 #: Pre-staged control menus on the FAT partition (§III.B.1).
 STAGED_MENU = {

@@ -54,4 +54,5 @@ ALL_EXPERIMENTS = {
     "e6": "repro.experiments.e6_mdcs",
     "e7": "repro.experiments.e7_policy",
     "e8": "repro.experiments.e8_resilience",
+    "e9": "repro.experiments.e9_chaos",
 }

@@ -25,7 +25,7 @@ from repro.metrics.report import Table
 from repro.simkernel import MINUTE
 from repro.storage.mbr import BootCode
 
-FAULTS = ("none", "mbr-rewritten", "tftp-down", "dhcp-down")
+FAULTS = ("none", "mbr-rewritten", "tftp-down", "dhcp-down", "pxe-down")
 
 
 def _inject(hybrid, node, fault: str) -> None:
@@ -36,6 +36,10 @@ def _inject(hybrid, node, fault: str) -> None:
         hybrid.wizard.installation.tftp.enabled = False
     elif fault == "dhcp-down":
         hybrid.wizard.installation.dhcp.enabled = False
+    elif fault == "pxe-down":
+        # the whole PXE stack is out, not just one service
+        hybrid.wizard.installation.dhcp.enabled = False
+        hybrid.wizard.installation.tftp.enabled = False
 
 
 def _probe(version: int, fault: str, target: str, seed: int) -> dict:
@@ -114,7 +118,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
         ),
         "v1_immune_to_network_faults": all(
             headline[f"{fault}:{target}"]["v1"]["correct"]
-            for fault in ("tftp-down", "dhcp-down")
+            for fault in ("tftp-down", "dhcp-down", "pxe-down")
             for target in ("windows", "linux")
         ),
     }

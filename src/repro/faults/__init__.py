@@ -1,0 +1,40 @@
+"""Deterministic, seed-driven fault injection.
+
+The paper's whole argument for its v2 design is operational resilience
+(§IV: one Windows reinstall bricked v1's boot path); this package gives
+the reproduction a first-class fault model instead of ad-hoc flag
+flipping in experiments.  Declare the chaos as a
+:class:`~repro.faults.plan.FaultPlan`, hand it to a
+:class:`~repro.faults.injector.FaultInjector`, and every run with the
+same ``(seed, plan)`` is exactly reproducible.
+
+The package deliberately depends only on the substrate layers
+(:mod:`~repro.simkernel`, :mod:`~repro.netsvc`, :mod:`~repro.boot`);
+control-plane handles (daemons to crash, services to flap) are passed in
+duck-typed, so the middleware never has to know it is being tortured.
+"""
+
+from repro.faults.injector import FaultInjector, corrupt_wire
+from repro.faults.plan import (
+    CORRUPTION_MODES,
+    BootHang,
+    FaultPlan,
+    HeadCrash,
+    LinkFault,
+    Partition,
+    ServiceFlap,
+    WireCorruption,
+)
+
+__all__ = [
+    "BootHang",
+    "CORRUPTION_MODES",
+    "FaultInjector",
+    "FaultPlan",
+    "HeadCrash",
+    "LinkFault",
+    "Partition",
+    "ServiceFlap",
+    "WireCorruption",
+    "corrupt_wire",
+]

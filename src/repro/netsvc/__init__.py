@@ -12,13 +12,21 @@ The cluster's private network, as the paper's system uses it:
 """
 
 from repro.netsvc.dhcp import DhcpLease, DhcpServer
-from repro.netsvc.network import Host, Network, PortListener
+from repro.netsvc.network import (
+    DeliveryVerdict,
+    Host,
+    Message,
+    Network,
+    PortListener,
+)
 from repro.netsvc.tftp import TftpServer
 
 __all__ = [
+    "DeliveryVerdict",
     "DhcpLease",
     "DhcpServer",
     "Host",
+    "Message",
     "Network",
     "PortListener",
     "TftpServer",

@@ -10,13 +10,16 @@ server processes simply ``yield listener.get()``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.simkernel import Simulator, Store
 
 #: Default one-way message latency on the simulated LAN (1 Gb campus switch).
 DEFAULT_LATENCY_S = 0.001
+
+#: Drop reasons the segment itself produces (taps add ``injected``).
+DROP_REASONS = ("offline", "no_listener", "unknown_host", "injected")
 
 
 @dataclass(frozen=True)
@@ -27,6 +30,26 @@ class Message:
     dst: str
     port: int
     payload: Any
+
+
+@dataclass
+class DeliveryVerdict:
+    """What a delivery tap wants done with one in-flight message.
+
+    Taps (see :meth:`Network.add_tap`) return ``None`` to pass a message
+    through untouched, or a verdict that drops it, delays it, and/or
+    rewrites its payload — the fault injector's whole grip on the wire.
+    """
+
+    drop: bool = False
+    reason: str = "injected"
+    extra_delay_s: float = 0.0
+    payload: Any = None
+    rewrite: bool = False
+
+
+#: A delivery tap: called with each outbound message, may return a verdict.
+DeliveryTap = Callable[[Message], Optional[DeliveryVerdict]]
 
 
 class Host:
@@ -83,8 +106,29 @@ class Network:
         self.latency_s = latency_s
         self._hosts: Dict[str, Host] = {}
         self._listeners: Dict[Tuple[str, int], PortListener] = {}
+        self._taps: List[DeliveryTap] = []
         self.messages_sent = 0
-        self.messages_dropped = 0
+        self.messages_delivered = 0
+        self.drops_by_reason: Dict[str, int] = {r: 0 for r in DROP_REASONS}
+
+    @property
+    def messages_dropped(self) -> int:
+        """Total drops across every reason (back-compat counter)."""
+        return sum(self.drops_by_reason.values())
+
+    def _drop(self, reason: str) -> None:
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+
+    # -- taps (fault injection) ---------------------------------------------
+
+    def add_tap(self, tap: DeliveryTap) -> None:
+        """Install a delivery tap consulted on every :meth:`deliver` call."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: DeliveryTap) -> None:
+        """Uninstall a tap (no-op if absent)."""
+        if tap in self._taps:
+            self._taps.remove(tap)
 
     # -- membership ---------------------------------------------------------
 
@@ -132,12 +176,34 @@ class Network:
         self.host(src)  # sender must exist
         self.messages_sent += 1
         message = Message(src=src, dst=dst, port=port, payload=payload)
-        self.sim.schedule(self.latency_s, self._arrive, message)
+        delay = self.latency_s
+        for tap in self._taps:
+            verdict = tap(message)
+            if verdict is None:
+                continue
+            if verdict.drop:
+                self._drop(verdict.reason or "injected")
+                return
+            if verdict.extra_delay_s > 0:
+                delay += verdict.extra_delay_s
+            if verdict.rewrite:
+                message = Message(
+                    src=message.src, dst=message.dst, port=message.port,
+                    payload=verdict.payload,
+                )
+        self.sim.schedule(delay, self._arrive, message)
 
     def _arrive(self, message: Message) -> None:
         host = self._hosts.get(message.dst)
-        listener = self._listeners.get((message.dst, message.port))
-        if host is None or not host.online or listener is None:
-            self.messages_dropped += 1
+        if host is None:
+            self._drop("unknown_host")
             return
+        if not host.online:
+            self._drop("offline")
+            return
+        listener = self._listeners.get((message.dst, message.port))
+        if listener is None:
+            self._drop("no_listener")
+            return
+        self.messages_delivered += 1
         listener._push(message)

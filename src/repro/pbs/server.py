@@ -58,6 +58,8 @@ class PbsServer:
         self._seq = first_jobid
         #: observers: fn(event_name, job) with events submitted/started/finished
         self.observers: List[Callable[[str, PbsJob], None]] = []
+        #: node observers: fn(event_name, short hostname) with events up/down
+        self.node_observers: List[Callable[[str, str], None]] = []
 
     # -- node table ------------------------------------------------------------
 
@@ -91,6 +93,8 @@ class PbsServer:
         record.mark_up(self.sim.now)
         if os_instance is not None:
             self._moms[record.hostname] = MomHandle(record.hostname, os_instance)
+        for observer in self.node_observers:
+            observer("up", hostname)
         self._try_schedule()
 
     def node_down(self, hostname: str) -> None:
@@ -99,6 +103,8 @@ class PbsServer:
         victims = record.jobs_here()
         record.mark_down(self.sim.now)
         self._moms.pop(record.hostname, None)
+        for observer in self.node_observers:
+            observer("down", hostname)
         for jobid in victims:
             runner = self._runners.get(jobid)
             if runner is not None:

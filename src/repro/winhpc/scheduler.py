@@ -30,6 +30,8 @@ class WinHpcScheduler:
         self._runners: Dict[int, object] = {}
         self._seq = 1
         self.observers: List[Callable[[str, WinHpcJob], None]] = []
+        #: node observers: fn(event_name, hostname) with events online/unreachable
+        self.node_observers: List[Callable[[str, str], None]] = []
 
     # -- node table -----------------------------------------------------------
 
@@ -53,6 +55,8 @@ class WinHpcScheduler:
         record.mark_online()
         if os_instance is not None:
             self._node_os[hostname] = os_instance
+        for observer in self.node_observers:
+            observer("online", hostname)
         self._try_schedule()
 
     def node_unreachable(self, hostname: str) -> None:
@@ -60,6 +64,8 @@ class WinHpcScheduler:
         victims = list(record.allocations)
         record.mark_unreachable()
         self._node_os.pop(hostname, None)
+        for observer in self.node_observers:
+            observer("unreachable", hostname)
         for job_id in victims:
             runner = self._runners.get(job_id)
             if runner is not None:

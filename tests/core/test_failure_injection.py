@@ -41,14 +41,18 @@ def test_daemons_stopped_jobs_still_run_but_no_switching():
 
 def test_windows_head_offline_messages_dropped_silently():
     hybrid = deployed()
-    baseline = len(hybrid.daemons.linux.decisions)
     dropped_before = hybrid.cluster.network.messages_dropped
     hybrid.cluster.linux_head.host.online = False  # linux head unreachable
     hybrid.submit_windows_job("render", cores=4, runtime_s=10 * MINUTE)
     hybrid.sim.run(until=hybrid.sim.now + 1 * HOUR)
-    # wire messages were sent and dropped; no new decisions were made
+    # wire messages were sent and dropped at the dead host
     assert hybrid.cluster.network.messages_dropped > dropped_before
-    assert len(hybrid.daemons.linux.decisions) == baseline
+    assert hybrid.cluster.network.drops_by_reason["offline"] > 0
+    # the hardened loop keeps ticking on the last-known state, but it never
+    # issues a switch from data older than the staleness cap
+    assert hybrid.daemons.linux.stale_skips > 0
+    assert not any(r.decision.is_switch for r in hybrid.daemons.linux.decisions)
+    assert hybrid.recorder.switch_count == 0
     # recovery: bring the head back, the next cycle resumes control
     hybrid.cluster.linux_head.host.online = True
     hybrid.sim.run(until=hybrid.sim.now + 1 * HOUR)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NetworkError
-from repro.netsvc import Network
+from repro.netsvc import DeliveryVerdict, Network
 from repro.simkernel import Simulator
 
 
@@ -105,6 +105,80 @@ def test_close_listener_allows_rebind(net):
     listener = b.listen(7)
     net.close_listener(listener)
     b.listen(7)  # no error
+
+
+def test_drops_counted_by_reason(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    b.listen(1)
+    a.send("ghost", 1, "x")   # unknown_host
+    a.send("b", 99, "x")      # no_listener
+    sim.run()
+    b.online = False
+    a.send("b", 1, "x")       # offline
+    sim.run()
+    assert net.drops_by_reason["unknown_host"] == 1
+    assert net.drops_by_reason["no_listener"] == 1
+    assert net.drops_by_reason["offline"] == 1
+    assert net.drops_by_reason["injected"] == 0
+    assert net.messages_dropped == 3  # back-compat total
+
+
+def test_delivered_counter(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    b.listen(1)
+    a.send("b", 1, "x")
+    sim.run()
+    assert net.messages_delivered == 1
+    assert net.messages_dropped == 0
+
+
+def test_tap_can_drop(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    inbox = b.listen(1)
+    net.add_tap(lambda m: DeliveryVerdict(drop=True) if m.payload == "bad" else None)
+    a.send("b", 1, "bad")
+    a.send("b", 1, "good")
+    sim.run()
+    assert net.drops_by_reason["injected"] == 1
+    assert inbox.try_get().payload == "good"
+    assert inbox.try_get() is None
+
+
+def test_tap_can_delay(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    inbox = b.listen(1)
+    net.add_tap(lambda m: DeliveryVerdict(extra_delay_s=1.0))
+    a.send("b", 1, "x")
+    sim.run()
+    assert sim.now == pytest.approx(1.001)
+    assert inbox.try_get().payload == "x"
+
+
+def test_tap_can_rewrite_payload(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    inbox = b.listen(1)
+    net.add_tap(lambda m: DeliveryVerdict(payload="mangled", rewrite=True))
+    a.send("b", 1, "clean")
+    sim.run()
+    assert inbox.try_get().payload == "mangled"
+
+
+def test_remove_tap(sim, net):
+    a = net.register("a")
+    b = net.register("b")
+    inbox = b.listen(1)
+    tap = lambda m: DeliveryVerdict(drop=True)  # noqa: E731
+    net.add_tap(tap)
+    net.remove_tap(tap)
+    net.remove_tap(tap)  # no-op on absent tap
+    a.send("b", 1, "x")
+    sim.run()
+    assert inbox.try_get().payload == "x"
 
 
 def test_blocking_receive_in_process(sim, net):

@@ -2,9 +2,11 @@
 
 import string
 
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.wire import JOBID_FIELD_WIDTH, QueueStateMessage
+from repro.errors import MiddlewareError
 
 jobid_chars = st.text(
     alphabet=string.ascii_lowercase + string.digits + ".-",
@@ -50,3 +52,84 @@ def test_decode_ignores_undefined_tail(stuck, cpus, jobid, padding):
     if len(wire) == 1 + 4 + JOBID_FIELD_WIDTH:
         decoded = QueueStateMessage.decode(wire + "x" * padding)
         assert decoded.stuck_jobid == jobid
+
+
+# -- the two Figure-6 wires, verbatim ----------------------------------------
+
+
+def test_figure6_idle_wire_verbatim():
+    message = QueueStateMessage.decode("00000none")
+    assert message == QueueStateMessage.idle()
+    assert not message.stuck and not message.has_job
+    assert message.encode() == "00000none"
+
+
+def test_figure6_stuck_wire_verbatim():
+    wire = "100041191.eridani.qgg.hud.ac.uk"
+    message = QueueStateMessage.decode(wire)
+    assert message.stuck
+    assert message.needed_cpus == 4
+    assert message.stuck_jobid == "1191.eridani.qgg.hud.ac.uk"
+    assert message.has_job
+    assert message.encode() == wire
+
+
+# -- corrupt inputs must raise, never crash oddly or decode wrongly ----------
+
+
+@given(
+    stuck=st.booleans(),
+    cpus=st.integers(min_value=0, max_value=9999),
+    jobid=jobid_chars,
+    flag=st.characters().filter(lambda c: c not in "01"),
+)
+def test_bad_flag_rejected(stuck, cpus, jobid, flag):
+    wire = QueueStateMessage(stuck, cpus, jobid).encode()
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage.decode(flag + wire[1:])
+
+
+@given(
+    stuck=st.booleans(),
+    jobid=jobid_chars,
+    cpu_field=st.text(min_size=4, max_size=4).filter(lambda s: not s.isdigit()),
+)
+def test_non_digit_cpu_field_rejected(stuck, jobid, cpu_field):
+    wire = QueueStateMessage(stuck, 0, jobid).encode()
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage.decode(wire[0] + cpu_field + wire[5:])
+
+
+@given(
+    stuck=st.booleans(),
+    cpus=st.integers(min_value=0, max_value=9999),
+    jobid=jobid_chars,
+    keep=st.integers(min_value=0, max_value=5),
+)
+def test_truncated_wire_rejected(stuck, cpus, jobid, keep):
+    # anything shorter than flag + CPUs + one jobid char is underspecified
+    wire = QueueStateMessage(stuck, cpus, jobid).encode()
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage.decode(wire[:keep])
+
+
+@given(
+    cpus=st.integers().filter(lambda n: not 0 <= n <= 9999),
+)
+def test_cpus_outside_field_range_rejected(cpus):
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage(stuck=True, needed_cpus=cpus, stuck_jobid="j1")
+
+
+@given(
+    extra=st.integers(min_value=1, max_value=40),
+)
+def test_overlong_jobid_rejected_at_construction(extra):
+    jobid = "x" * (JOBID_FIELD_WIDTH + extra)
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage(stuck=True, needed_cpus=1, stuck_jobid=jobid)
+
+
+def test_empty_jobid_rejected():
+    with pytest.raises(MiddlewareError):
+        QueueStateMessage(stuck=False, needed_cpus=0, stuck_jobid="")
