@@ -5,9 +5,16 @@ Every bench runs its experiment exactly once under pytest-benchmark
 reproduction run, not a micro-benchmark average) and *publishes* the
 rendered tables — to the terminal (so ``bench_output.txt`` carries the
 reproduced rows) and to ``benchmarks/reports/<id>.txt``.
+
+Each bench additionally drops a machine-readable timing baseline at
+``benchmarks/reports/BENCH_<name>.json`` so successive runs can be
+diffed for regressions without parsing pytest-benchmark's terminal
+table.
 """
 
+import json
 import pathlib
+import platform
 
 import pytest
 
@@ -32,10 +39,27 @@ def publish(capsys):
 
 
 @pytest.fixture()
-def run_once(benchmark):
-    """Run an experiment exactly once under the benchmark timer."""
+def run_once(benchmark, request):
+    """Run an experiment exactly once under the benchmark timer, then
+    emit the timing as a ``BENCH_*.json`` baseline."""
 
     def _run(fn, **kwargs):
         return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
 
-    return _run
+    yield _run
+
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:  # the bench errored before the timed call
+        return
+    name = request.node.name.replace("[", "_").replace("]", "").strip("_")
+    REPORTS_DIR.mkdir(exist_ok=True)
+    baseline = {
+        "bench": request.node.name,
+        "module": request.node.parent.name,
+        "seconds": stats.stats.mean,
+        "rounds": stats.stats.rounds,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    path = REPORTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")

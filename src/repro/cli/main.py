@@ -5,13 +5,16 @@ Usage::
     repro-experiments list                 # what exists
     repro-experiments run e1 e4            # run specific experiments
     repro-experiments run all --quick      # everything, CI-sized
+    repro-experiments run e9 --trace-out traces/   # + JSONL event traces
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import re
 import sys
+from pathlib import Path
 from typing import List
 
 from repro.experiments import ALL_EXPERIMENTS
@@ -37,7 +40,29 @@ def _parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="smaller clusters/horizons (same result shapes)",
     )
+    run.add_argument(
+        "--trace-out", metavar="DIR", default=None,
+        help="write each simulation's event trace as JSONL into DIR "
+        "(one file per <experiment>__<label>; see docs/OBSERVABILITY.md)",
+    )
     return parser
+
+
+def _sanitize(label: str) -> str:
+    """A trace label as a safe filename fragment."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "trace"
+
+
+def _write_traces(output, directory: Path) -> List[Path]:
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for label, tracer in output.traces.items():
+        path = directory / (
+            f"{output.experiment_id.lower()}__{_sanitize(label)}.jsonl"
+        )
+        tracer.write_jsonl(path)
+        written.append(path)
+    return written
 
 
 def _resolve(names: List[str]) -> List[str]:
@@ -65,6 +90,9 @@ def main(argv: List[str] | None = None) -> int:
         module = importlib.import_module(ALL_EXPERIMENTS[experiment_id])
         output = module.run(seed=args.seed, quick=args.quick)
         print(output.render())
+        if args.trace_out is not None and output.traces:
+            paths = _write_traces(output, Path(args.trace_out))
+            print(f"\nwrote {len(paths)} trace file(s) to {args.trace_out}")
         print()
     return 0
 

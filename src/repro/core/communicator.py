@@ -31,7 +31,7 @@ an imperfect one:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.core.controller import BootController
 from repro.core.detector import PbsDetector, WinHpcDetector
@@ -85,6 +85,7 @@ class SwitchOrders:
         controller: BootController,
         pbs_user: str = "sliang",
         order_timeout_s: float = DEFAULT_ORDER_TIMEOUT_S,
+        tracer: Optional[Any] = None,
     ) -> None:
         if order_timeout_s <= 0:
             raise MiddlewareError("order timeout must be positive")
@@ -93,6 +94,7 @@ class SwitchOrders:
         self.controller = controller
         self.pbs_user = pbs_user
         self.order_timeout_s = order_timeout_s
+        self.tracer = tracer
         self.orders_issued = 0
         self.orders_confirmed = 0
         self.orders_failed = 0
@@ -144,6 +146,8 @@ class SwitchOrders:
             # lands; otherwise the switch job itself carries the target
             # (v1 controlmenu edits, v2 per-MAC Figure-12 flow)
             self.controller.set_target_os(target)
+            if self.tracer is not None:
+                self.tracer.emit("control.flag_set", target=target)
         if target == "windows":
             script = self.controller.linux_switch_script("windows")
             for _ in range(decision.num_nodes):
@@ -176,6 +180,14 @@ class SwitchOrders:
                 jobid=jobid,
             )
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "order.issued",
+                order_id=self._next_order_id,
+                target_os=target_os,
+                jobid=jobid,
+                deadline_s=self.order_timeout_s,
+            )
         self._next_order_id += 1
         self.orders_issued += 1
 
@@ -196,6 +208,14 @@ class SwitchOrders:
                 order.resolved_at = self.pbs.sim.now
                 order.node = hostname
                 self.orders_confirmed += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "order.confirmed",
+                        node=hostname,
+                        order_id=order.order_id,
+                        target_os=target_os,
+                        latency_s=order.resolved_at - order.issued_at,
+                    )
                 return
 
     # -- watchdog ------------------------------------------------------------
@@ -210,6 +230,13 @@ class SwitchOrders:
             order.state = OrderState.FAILED
             order.resolved_at = now
             self.orders_failed += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "order.failed",
+                    cause="watchdog deadline passed",
+                    order_id=order.order_id,
+                    target_os=order.target_os,
+                )
             self._cancel_stale_job(order)
             expired.append(order)
         return expired
@@ -240,10 +267,12 @@ class LinuxCommunicator:
         ack_port: Optional[int] = None,
         cycle_s: Optional[float] = None,
         staleness_cycles: int = 3,
+        tracer: Optional[Any] = None,
     ) -> None:
         if staleness_cycles < 1:
             raise MiddlewareError("staleness cap must be >= 1 cycle")
         self.sim = sim
+        self.tracer = tracer
         self.listener = listener
         self.detector = detector
         self.policy = policy
@@ -302,6 +331,10 @@ class LinuxCommunicator:
         self.last_windows_state = windows_state
         self.last_windows_wire = windows_wire
         self.last_report_at = self.sim.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                "comm.report_received", wire=windows_wire, via="direct"
+            )
         return self._evaluate(windows_state, windows_wire)
 
     def _evaluate(
@@ -319,6 +352,21 @@ class LinuxCommunicator:
                 decision=decision,
             )
         )
+        if self.tracer is not None:
+            fields = {
+                "action": "switch" if decision.is_switch else "hold",
+                "num_nodes": decision.num_nodes,
+                "reason": decision.reason,
+                "windows_wire": windows_wire,
+                "linux_wire": linux_report.wire,
+            }
+            if decision.target_os is not None:
+                fields["target_os"] = decision.target_os
+            if self.last_report_at is not None:
+                fields["report_age_s"] = self.sim.now - self.last_report_at
+            if self.staleness_cap_s is not None:
+                fields["staleness_cap_s"] = self.staleness_cap_s
+            self.tracer.emit("control.decision", **fields)
         self.orders.issue(decision)
         return decision
 
@@ -329,16 +377,31 @@ class LinuxCommunicator:
         wire = message.payload
         try:
             windows_state = QueueStateMessage.decode(wire)
-        except (MiddlewareError, TypeError, AttributeError):
+        except (MiddlewareError, TypeError, AttributeError) as exc:
             self.corrupt_reports += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "comm.report_corrupt",
+                    cause=type(exc).__name__,
+                    wire=str(wire)[:80],
+                )
             return None
         self.reports_received += 1
         self.last_windows_state = windows_state
         self.last_windows_wire = wire
         self.last_report_at = self.sim.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                "comm.report_received",
+                wire=wire,
+                via="network",
+                src=message.src,
+            )
         if self.host is not None and self.ack_port is not None:
             self.host.send(message.src, self.ack_port, ("ack", wire))
             self.acks_sent += 1
+            if self.tracer is not None:
+                self.tracer.emit("comm.ack_sent", wire=wire, dst=message.src)
         return self._evaluate(windows_state, wire)
 
     def tick(self) -> None:
@@ -363,6 +426,8 @@ class LinuxCommunicator:
             self._evaluate(self.last_windows_state, self.last_windows_wire)
             return
         self.stale_skips += 1
+        if self.tracer is not None:
+            self.tracer.emit("comm.stale_skip", age_s=age, cap_s=cap)
         self.decisions.append(
             DecisionRecord(
                 time=self.sim.now,
@@ -397,6 +462,7 @@ class WindowsCommunicator:
         retry_base_s: float = 5.0,
         ack_timeout_s: float = 10.0,
         rng: Optional[RngStreams] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         if cycle_s <= 0:
             raise MiddlewareError("communicator cycle must be positive")
@@ -415,10 +481,18 @@ class WindowsCommunicator:
         self.retry_base_s = retry_base_s
         self.ack_timeout_s = ack_timeout_s
         self.rng = rng
+        self.tracer = tracer
         self.reports_sent = 0      # network sends, including retries
         self.reports_acked = 0
         self.reports_failed = 0    # gave up after every retry
         self.retries = 0
+        self._cycle_index = 0      # current cycle, for trace context
+
+    def _trace(self, kind: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                kind, node=self.host.name, cycle=self._cycle_index, **fields
+            )
 
     def _send_report(self, wire: str):
         """Send one report; with an ack channel, retry with backoff+jitter."""
@@ -426,18 +500,21 @@ class WindowsCommunicator:
             # fire-and-forget, exactly the paper's implementation
             self.host.send(self.linux_head, self.port, wire)
             self.reports_sent += 1
+            self._trace("comm.report_sent", wire=wire, attempt=0)
             return
         for attempt in range(self.max_retries + 1):
             while self.ack_listener.try_get() is not None:
                 pass  # drain acks from earlier cycles
             self.host.send(self.linux_head, self.port, wire)
             self.reports_sent += 1
+            self._trace("comm.report_sent", wire=wire, attempt=attempt)
             yield Timeout(self.ack_timeout_s)
             ack = self.ack_listener.try_get()
             while ack is not None and ack.payload != ("ack", wire):
                 ack = self.ack_listener.try_get()
             if ack is not None:
                 self.reports_acked += 1
+                self._trace("comm.report_acked", wire=wire, attempt=attempt)
                 return
             if attempt < self.max_retries:
                 self.retries += 1
@@ -446,8 +523,12 @@ class WindowsCommunicator:
                     backoff += self.rng.uniform(
                         "commswin:retry-jitter", 0.0, self.retry_base_s
                     )
+                self._trace("comm.retry", attempt=attempt, backoff_s=backoff)
                 yield Timeout(backoff)
         self.reports_failed += 1
+        self._trace(
+            "comm.report_lost", cause="no ack after retries", wire=wire
+        )
 
     def run(self):
         """Daemon process: report the Windows queue state every cycle.
@@ -458,6 +539,7 @@ class WindowsCommunicator:
         epoch = self.sim.now
         cycle_index = 0
         while True:
+            self._cycle_index = cycle_index
             report = self.detector.check()
             yield from self._send_report(report.wire)
             cycle_index += 1

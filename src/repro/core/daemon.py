@@ -21,7 +21,7 @@ state across a restart, which is exactly why the staleness guard exists.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.communicator import (
     DEFAULT_ORDER_TIMEOUT_S,
@@ -74,6 +74,7 @@ class DualBootDaemons:
     watchdog_process: Optional[Process] = None
     cycle_s: float = 10 * MINUTE
     _crashed: set = field(default_factory=set)
+    tracer: Optional[Any] = None
 
     def stop(self) -> None:
         """Kill every control-plane process (freeze the system for analysis)."""
@@ -94,6 +95,13 @@ class DualBootDaemons:
         if side in self._crashed:
             return
         self._crashed.add(side)
+        if self.tracer is not None:
+            host = self.linux_host if side == "linux" else self.windows_host
+            self.tracer.emit(
+                "daemon.crash",
+                node=host.name if host is not None else None,
+                side=side,
+            )
         if side == "linux":
             self.linux_process.kill()
             if self.ticker_process is not None:
@@ -114,6 +122,13 @@ class DualBootDaemons:
         self._crashed.discard(side)
         if self.sim is None:
             raise MiddlewareError("daemons were started without a simulator handle")
+        if self.tracer is not None:
+            host = self.linux_host if side == "linux" else self.windows_host
+            self.tracer.emit(
+                "daemon.restart",
+                node=host.name if host is not None else None,
+                side=side,
+            )
         if side == "linux":
             if self.linux_host is not None:
                 self.linux_host.online = True
@@ -156,6 +171,7 @@ def start_daemons(
     order_timeout_s: float = DEFAULT_ORDER_TIMEOUT_S,
     watchdog_poll_s: float = MINUTE,
     rng: Optional[RngStreams] = None,
+    tracer: Optional[Any] = None,
 ) -> DualBootDaemons:
     """Stand up the control plane and return its handles."""
     sim = cluster.sim
@@ -169,6 +185,7 @@ def start_daemons(
     orders = SwitchOrders(
         pbs, winhpc, controller, pbs_user=pbs_user,
         order_timeout_s=order_timeout_s,
+        tracer=tracer,
     )
 
     listener = cluster.linux_head.host.listen(port)
@@ -179,7 +196,8 @@ def start_daemons(
         sim=sim,
         listener=listener,
         detector=PbsDetector(
-            PbsCommands(pbs, default_user=pbs_user), eager=eager_detectors
+            PbsCommands(pbs, default_user=pbs_user), eager=eager_detectors,
+            tracer=tracer, node_name=cluster.linux_head.name,
         ),
         policy=policy,
         orders=orders,
@@ -188,6 +206,7 @@ def start_daemons(
         ack_port=port + 1 if acks else None,
         cycle_s=cycle_s,
         staleness_cycles=staleness_cycles,
+        tracer=tracer,
     )
 
     sdk = HpcSchedulerConnection()
@@ -195,7 +214,10 @@ def start_daemons(
     windows_daemon = WindowsCommunicator(
         sim=sim,
         host=cluster.windows_head.host,
-        detector=WinHpcDetector(sdk, eager=eager_detectors),
+        detector=WinHpcDetector(
+            sdk, eager=eager_detectors,
+            tracer=tracer, node_name=cluster.windows_head.name,
+        ),
         linux_head=cluster.linux_head.name,
         port=port,
         cycle_s=cycle_s,
@@ -204,6 +226,7 @@ def start_daemons(
         retry_base_s=retry_base_s,
         ack_timeout_s=ack_timeout_s,
         rng=rng.spawn("communicator") if rng is not None else None,
+        tracer=tracer,
     )
 
     return DualBootDaemons(
@@ -222,4 +245,5 @@ def start_daemons(
             _watchdog_loop(sim, orders, watchdog_poll_s), name="daemon:watchdog"
         ),
         cycle_s=cycle_s,
+        tracer=tracer,
     )

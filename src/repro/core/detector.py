@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.core.wire import QueueStateMessage
 from repro.pbs.commands import PbsCommands
@@ -97,9 +97,17 @@ class PbsDetector:
     wire format itself is unchanged.
     """
 
-    def __init__(self, commands: PbsCommands, eager: bool = False) -> None:
+    def __init__(
+        self,
+        commands: PbsCommands,
+        eager: bool = False,
+        tracer: Optional[Any] = None,
+        node_name: Optional[str] = None,
+    ) -> None:
         self.commands = commands
         self.eager = eager
+        self.tracer = tracer
+        self.node_name = node_name
 
     def check(self) -> DetectorReport:
         """One detector run over the current ``qstat -f`` output."""
@@ -107,7 +115,7 @@ class PbsDetector:
         workload = [j for j in jobs if j.get("Job_Name") != SWITCH_JOB_NAME]
         running = [j for j in workload if j.get("job_state") == "R"]
         queued = [j for j in workload if j.get("job_state") == "Q"]
-        return _build_report(
+        report = _build_report(
             eager=self.eager,
             running=len(running),
             queued=len(queued),
@@ -124,6 +132,8 @@ class PbsDetector:
                 for j in running
             ],
         )
+        _trace_check(self, "linux", report)
+        return report
 
 
 # -- Windows side (SDK) -------------------------------------------------------
@@ -136,10 +146,16 @@ class WinHpcDetector:
     """
 
     def __init__(
-        self, connection: HpcSchedulerConnection, eager: bool = False
+        self,
+        connection: HpcSchedulerConnection,
+        eager: bool = False,
+        tracer: Optional[Any] = None,
+        node_name: Optional[str] = None,
     ) -> None:
         self.connection = connection
         self.eager = eager
+        self.tracer = tracer
+        self.node_name = node_name
 
     def check(self) -> DetectorReport:
         running = [
@@ -163,16 +179,32 @@ class WinHpcDetector:
                 )
                 cores = head.amount * node_cores
             first = (str(head.job_id), cores)
-        return _build_report(
+        report = _build_report(
             running=len(running),
             queued=len(queued),
             first_queued=first,
             running_detail=[f"{j.job_id} {j.name} Running" for j in running],
             eager=self.eager,
         )
+        _trace_check(self, "windows", report)
+        return report
 
 
 # -- shared report assembly ---------------------------------------------------
+
+
+def _trace_check(detector: Any, side: str, report: DetectorReport) -> None:
+    if detector.tracer is None:
+        return
+    detector.tracer.emit(
+        "detector.check",
+        node=detector.node_name,
+        side=side,
+        wire=report.wire,
+        running=report.running,
+        queued=report.queued,
+        stuck=report.message.stuck,
+    )
 
 
 def _build_report(

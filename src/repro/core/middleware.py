@@ -48,6 +48,7 @@ from repro.pbs.commands import PbsCommands
 from repro.pbs.script import JobSpec
 from repro.pbs.server import PbsServer
 from repro.simkernel import MINUTE, Simulator
+from repro.trace import Tracer
 from repro.storage.diskpart import (
     MODIFIED_DISKPART_TXT_V1,
     REIMAGE_DISKPART_TXT_V2,
@@ -73,6 +74,10 @@ class DualBootOscar:
         self.policy = policy if policy is not None else FcfsPolicy()
         self.effort = AdminEffortLedger()
         self.recorder = ClusterRecorder()
+        self.tracer = Tracer(
+            cluster.sim, name=f"dualboot-v{self.config.version}"
+        )
+        cluster.sim.tracer = self.tracer
 
         self.wizard = OscarWizard(cluster)
         self.winhpc = WinHpcScheduler(cluster.sim, cluster.windows_head.name)
@@ -120,6 +125,7 @@ class DualBootOscar:
         self._prepare_nodes()
         for node in self.cluster.compute_nodes:
             node.provisioners.append(self._dualboot_provisioner)
+            node.tracer = self.tracer
             self.recorder.attach_node(node)
         self.recorder.attach_pbs(self.pbs)
         self.recorder.attach_winhpc(self.winhpc)
@@ -143,6 +149,7 @@ class DualBootOscar:
             order_timeout_s=config.order_timeout_s,
             watchdog_poll_s=config.watchdog_poll_s,
             rng=self.cluster.rng,
+            tracer=self.tracer,
         )
 
     def _deploy_windows_side(self) -> None:

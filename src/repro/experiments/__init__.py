@@ -16,7 +16,20 @@ from typing import Any, Dict, List
 
 from repro.metrics.report import Table
 
-__all__ = ["ALL_EXPERIMENTS", "ExperimentOutput"]
+__all__ = ["ALL_EXPERIMENTS", "ExperimentOutput", "attach_system_trace"]
+
+
+def attach_system_trace(output: "ExperimentOutput", label: str,
+                        system: Any) -> None:
+    """Attach a comparison system's tracer, when it has one.
+
+    Only :class:`~repro.compare.hybrid.HybridSystem` wraps a traced
+    ``DualBootOscar``; the baseline systems (static split, mono-stable)
+    have no middleware and are silently skipped.
+    """
+    tracer = getattr(getattr(system, "middleware", None), "tracer", None)
+    if tracer is not None:
+        output.attach_trace(label, tracer)
 
 
 @dataclass
@@ -30,6 +43,33 @@ class ExperimentOutput:
     #: machine-readable headline values, asserted by tests and quoted in
     #: EXPERIMENTS.md
     headline: Dict[str, Any] = field(default_factory=dict)
+    #: label -> :class:`repro.trace.Tracer` for every simulation this
+    #: experiment ran (see docs/OBSERVABILITY.md)
+    traces: Dict[str, Any] = field(default_factory=dict)
+
+    def attach_trace(self, label: str, tracer: Any) -> None:
+        """Register one simulation's tracer under a stable label."""
+        self.traces[label] = tracer
+
+    def trace_exports(self) -> Dict[str, str]:
+        """label -> canonical JSONL export, for determinism comparisons."""
+        return {
+            label: tracer.export_jsonl()
+            for label, tracer in self.traces.items()
+        }
+
+    def trace_violations(self) -> Dict[str, list]:
+        """label -> invariant violations (empty lists when all hold)."""
+        from repro.trace import check_events
+
+        return {
+            label: check_events(tracer.events)
+            for label, tracer in self.traces.items()
+        }
+
+    def trace_invariants_ok(self) -> bool:
+        """True when every attached trace passes every invariant."""
+        return all(not v for v in self.trace_violations().values())
 
     def render(self) -> str:
         parts = [f"== {self.experiment_id}: {self.title} =="]

@@ -41,7 +41,7 @@ def _measure(version: int, seed: int, rounds: int, num_nodes: int):
                 record = node.boot_records[-1]
                 assert record.os_name == target, record
                 durations[key].append(record.duration_s)
-    return durations
+    return durations, hybrid.tracer
 
 
 def _stats_row(label: str, samples) -> list:
@@ -72,7 +72,8 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
     all_max = 0.0
     headline = {}
     for version in (1, 2):
-        durations = _measure(version, seed, rounds, num_nodes)
+        durations, tracer = _measure(version, seed, rounds, num_nodes)
+        output.attach_trace(f"v{version}", tracer)
         for key, samples in durations.items():
             table.add_row(_stats_row(f"v{version} {key}", samples))
             all_max = max(all_max, max(samples))
@@ -82,6 +83,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
     output.tables.append(table)
     headline["max_switch_minutes"] = all_max / 60.0
     headline["claim_under_5min"] = all_max <= 5 * MINUTE
+    headline["trace_invariants_ok"] = output.trace_invariants_ok()
     output.headline = headline
     output.notes.append(
         "claim holds" if headline["claim_under_5min"] else "claim VIOLATED"

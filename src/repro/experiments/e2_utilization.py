@@ -22,7 +22,7 @@ from repro.compare import (
     run_scenario,
 )
 from repro.core.config import MiddlewareConfig
-from repro.experiments import ExperimentOutput
+from repro.experiments import ExperimentOutput, attach_system_trace
 from repro.metrics.report import Table
 from repro.simkernel import HOUR, MINUTE
 from repro.workloads import MixedWorkload
@@ -93,6 +93,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
         for factory in _systems(num_nodes, seed):
             system = factory()
             result = run_scenario(system, jobs, horizon)
+            attach_system_trace(output, f"{fraction}:{result.label}", system)
             table.add_row(
                 [
                     fraction,
@@ -135,6 +136,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
             means[eager_label] > means[label] for label in static_labels
         ),
         "per_fraction": per_fraction,
+        "trace_invariants_ok": output.trace_invariants_ok(),
     }
     output.notes.append(
         "static splits collapse at the mix extremes (their stranded "

@@ -22,7 +22,7 @@ import numpy as np
 from repro.compare import HybridSystem, MonostableSystem, run_scenario
 from repro.core.config import MiddlewareConfig
 from repro.core.policy import EagerPolicy
-from repro.experiments import ExperimentOutput
+from repro.experiments import ExperimentOutput, attach_system_trace
 from repro.metrics.report import Table
 from repro.simkernel import HOUR, MINUTE
 from repro.simkernel.rng import RngStreams
@@ -107,6 +107,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
     for label, factory in systems:
         system = factory()
         result = run_scenario(system, jobs, horizon)
+        attach_system_trace(output, label, system)
         records = {r.name: r for r in system.recorder.workload_jobs()}
         first, later = [], []
         for job in jobs:
@@ -154,6 +155,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
         "monostable_wastes_more_core_hours": (
             mono["wasted_core_hours"] > paper["wasted_core_hours"]
         ),
+        "trace_invariants_ok": output.trace_invariants_ok(),
     }
     output.notes.append(
         "the bi-stable cluster's first campaign pays the pool-growing "

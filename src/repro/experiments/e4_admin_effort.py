@@ -60,6 +60,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
     headline = {}
     for version in (1, 2):
         hybrid, deploy_effort = _lifecycle(version, seed, rounds, num_nodes)
+        output.attach_trace(f"v{version}", hybrid.tracer)
         by_category = hybrid.effort.by_category()
         table.add_row(
             [
@@ -90,6 +91,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
             headline["v2"].get("reinstall-other-os", 0) == 0
             and headline["v2"].get("fix-mbr", 0) == 0
         ),
+        "trace_invariants_ok": output.trace_invariants_ok(),
     }
     output.notes.append(
         "every v1 Windows reimage wipes Linux (diskpart clean) and every "

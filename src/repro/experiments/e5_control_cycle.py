@@ -45,7 +45,7 @@ def _reaction(cycle_min: float, seed: int, num_nodes: int) -> dict:
         "wait_min": job.wait_time_s / 60.0,
         "detect_min": (decision_time - submit_time) / 60.0,
         "boot_min": (job.start_time - decision_time) / 60.0,
-    }
+    }, hybrid.tracer
 
 
 def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
@@ -62,7 +62,8 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
     )
     headline = {}
     for cycle in cycles:
-        r = _reaction(cycle, seed, num_nodes)
+        r, tracer = _reaction(cycle, seed, num_nodes)
+        output.attach_trace(f"cycle_{cycle}m", tracer)
         table.add_row(
             [cycle, r["detect_min"], r["boot_min"], r["wait_min"]]
         )
@@ -76,6 +77,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
         **headline,
         "wait_grows_with_cycle": waits == sorted(waits),
         "boot_component_cycle_independent": max(boots) - min(boots) < 2.0,
+        "trace_invariants_ok": output.trace_invariants_ok(),
     }
     output.notes.append(
         "detection latency tracks the cycle (~half of it for a mid-cycle "

@@ -20,7 +20,7 @@ import numpy as np
 from repro.compare import HybridSystem, run_scenario
 from repro.core.config import MiddlewareConfig
 from repro.core.policy import EagerPolicy
-from repro.experiments import ExperimentOutput
+from repro.experiments import ExperimentOutput, attach_system_trace
 from repro.metrics.report import Table
 from repro.simkernel import HOUR, MINUTE
 from repro.workloads import make_scenario
@@ -43,6 +43,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
         policy=EagerPolicy(),
     )
     result = run_scenario(system, jobs, horizon)
+    attach_system_trace(output, "ga-case-study", system)
     recorder = system.recorder
 
     # OS occupancy timeline, hourly
@@ -112,6 +113,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
             len(ga_done) == len(ga_jobs)
             and len(background_done) == len(background_jobs)
         ),
+        "trace_invariants_ok": output.trace_invariants_ok(),
     }
     output.notes.append(
         "nodes flow to Windows when the GA burst arrives and back as the "

@@ -26,7 +26,7 @@ from repro.core.policy import (
     SwitchPolicy,
     ThresholdPolicy,
 )
-from repro.experiments import ExperimentOutput
+from repro.experiments import ExperimentOutput, attach_system_trace
 from repro.metrics.report import Table
 from repro.simkernel import HOUR, MINUTE
 from repro.workloads import make_scenario
@@ -97,6 +97,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
             label_suffix=f"-{label}",
         )
         result = run_scenario(system, jobs, horizon)
+        attach_system_trace(output, label, system)
         table.add_row(
             [
                 label,
@@ -125,6 +126,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
             headline["threshold-2"]["switches"]
             <= headline["fcfs (paper)"]["switches"]
         ),
+        "trace_invariants_ok": output.trace_invariants_ok(),
     }
     output.notes.append(
         "eager policies switch more and wait less; the threshold variant "

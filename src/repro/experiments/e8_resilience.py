@@ -71,7 +71,7 @@ def _probe(version: int, fault: str, target: str, seed: int) -> dict:
         "via": record.via,
         "failed": node.state is NodeState.FAILED,
         "correct": node.os_name == target,
-    }
+    }, hybrid.tracer
 
 
 def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
@@ -88,8 +88,10 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
     headline = {}
     for fault in FAULTS:
         for target in ("windows", "linux"):
-            v1 = _probe(1, fault, target, seed)
-            v2 = _probe(2, fault, target, seed)
+            v1, v1_tracer = _probe(1, fault, target, seed)
+            v2, v2_tracer = _probe(2, fault, target, seed)
+            output.attach_trace(f"{fault}:{target}:v1", v1_tracer)
+            output.attach_trace(f"{fault}:{target}:v2", v2_tracer)
             table.add_row(
                 [fault, target, v1["outcome"], v1["via"] or "-",
                  v2["outcome"], v2["via"] or "-"]
@@ -121,6 +123,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
             for fault in ("tftp-down", "dhcp-down", "pxe-down")
             for target in ("windows", "linux")
         ),
+        "trace_invariants_ok": output.trace_invariants_ok(),
     }
     output.notes.append(
         "v2 trades a boot-time network dependency (fail-open to the local "

@@ -109,6 +109,7 @@ def _chaos_run(version: int, scenario: str, seed: int,
         dhcp=installation.dhcp,
         tftp=installation.tftp,
         env=cluster.env,
+        tracer=hybrid.tracer,
     )
     injector.arm()
 
@@ -140,6 +141,8 @@ def _chaos_run(version: int, scenario: str, seed: int,
         daemons.linux_process, daemons.windows_process,
         daemons.ticker_process, daemons.watchdog_process,
     ]
+    # NOTE: the tracer is returned separately — the metrics dict is
+    # compared for equality by the ``deterministic`` headline.
     return {
         "reports_acked": daemons.windows.reports_acked,
         "reports_failed": daemons.windows.reports_failed,
@@ -155,7 +158,7 @@ def _chaos_run(version: int, scenario: str, seed: int,
         "daemons_alive": all(p is not None and p.alive
                              for p in daemon_processes),
         "fault_counters": dict(sorted(injector.counters.items())),
-    }
+    }, hybrid.tracer
 
 
 def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
@@ -174,7 +177,8 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
     headline = {}
     for scenario in scenarios:
         for version in (1, 2):
-            r = _chaos_run(version, scenario, seed, horizon_s)
+            r, tracer = _chaos_run(version, scenario, seed, horizon_s)
+            output.attach_trace(f"{scenario}:v{version}", tracer)
             table.add_row([
                 scenario, f"v{version}", r["reports_acked"], r["retries"],
                 r["reports_failed"], r["corrupt_discarded"], r["stale_skips"],
@@ -186,7 +190,8 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
             headline[f"{scenario}:v{version}"] = r
     output.tables.append(table)
 
-    repeat = _chaos_run(2, "lossy", seed, horizon_s)
+    repeat, repeat_tracer = _chaos_run(2, "lossy", seed, horizon_s)
+    output.attach_trace("repeat:lossy:v2", repeat_tracer)
     lossy_key = "lossy:v2" if "lossy" in scenarios else None
     output.headline = {
         **headline,
@@ -204,6 +209,14 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
         "deterministic": (
             lossy_key is not None and repeat == headline[lossy_key]
         ),
+        # stronger than the metrics comparison: the full event-by-event
+        # trace of the repeat run is byte-identical to the first run's
+        "trace_deterministic": (
+            lossy_key is not None
+            and repeat_tracer.export_jsonl()
+            == output.traces[lossy_key].export_jsonl()
+        ),
+        "trace_invariants_ok": output.trace_invariants_ok(),
     }
     if "chaos" in scenarios:
         chaos_v2 = headline["chaos:v2"]

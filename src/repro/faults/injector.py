@@ -89,11 +89,13 @@ class FaultInjector:
         tftp: Any = None,
         node_macs: Optional[Dict[str, str]] = None,
         env: Any = None,
+        tracer: Any = None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.rng = rng.spawn(f"faults:{plan.name}")
         self.plan = plan
+        self.tracer = tracer
         self.control = control
         self.dhcp = dhcp
         self.tftp = tftp
@@ -134,6 +136,7 @@ class FaultInjector:
         if self._armed:
             raise ConfigurationError("injector already armed")
         self._armed = True
+        self._trace("fault.armed")
         if (
             self.plan.link_faults
             or self.plan.partitions
@@ -168,6 +171,13 @@ class FaultInjector:
     def _count(self, key: str) -> None:
         self.counters[key] = self.counters.get(key, 0) + 1
 
+    def _trace(self, kind: str, *, node: Optional[str] = None,
+               cause: Optional[str] = None, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                kind, node=node, cause=cause, plan=self.plan.name, **fields
+            )
+
     # -- the delivery tap ----------------------------------------------------
 
     def _delivery_tap(self, message: Message) -> Optional[DeliveryVerdict]:
@@ -177,6 +187,9 @@ class FaultInjector:
                 message.src, message.dst
             ):
                 self._count("partition")
+                self._trace(
+                    "fault.partition", src=message.src, dst=message.dst
+                )
                 return DeliveryVerdict(drop=True, reason="injected")
 
         extra_delay = 0.0
@@ -190,9 +203,12 @@ class FaultInjector:
                 f"loss:{pair}", link.loss_prob
             ):
                 self._count(f"loss:{pair}")
+                self._trace("fault.loss", link=pair)
                 return DeliveryVerdict(drop=True, reason="injected")
             if link.jitter_s > 0:
-                extra_delay += self.rng.uniform(f"jitter:{pair}", 0.0, link.jitter_s)
+                jitter = self.rng.uniform(f"jitter:{pair}", 0.0, link.jitter_s)
+                extra_delay += jitter
+                self._trace("fault.jitter", link=pair, delay_s=jitter)
 
         rewrite = False
         payload = message.payload
@@ -211,6 +227,7 @@ class FaultInjector:
                     payload = corrupt_wire(payload, mode)
                     rewrite = True
                     self._count(f"corrupted:{mode}")
+                    self._trace("fault.corrupt", mode=mode, port=corr.port)
 
         if rewrite or extra_delay > 0:
             return DeliveryVerdict(
@@ -225,16 +242,19 @@ class FaultInjector:
 
     def _crash(self, crash) -> None:
         self._count(f"crash:{crash.side}")
+        self._trace("fault.crash", side=crash.side)
         self.control.crash(crash.side)
 
     def _restart(self, crash) -> None:
         self._count(f"restart:{crash.side}")
+        self._trace("fault.restart", side=crash.side)
         self.control.restart(crash.side)
 
     def _set_service(self, name: str, enabled: bool) -> None:
         service = getattr(self, name)
         if not enabled:
             self._count(f"flap:{name}")
+            self._trace("fault.flap", service=name)
         service.enabled = enabled
 
     # -- boot hangs ----------------------------------------------------------
@@ -249,5 +269,6 @@ class FaultInjector:
                 continue
             armed.remaining -= 1
             self._count("boot-hang")
+            self._trace("fault.boot_hang", target=spec.node, mac=mac)
             return f"injected ({self.plan.name}) on {spec.node}"
         return None

@@ -109,6 +109,8 @@ class ComputeNode:
         self.on_os_up: List[Callable[["ComputeNode", OSInstance], None]] = []
         self.on_os_down: List[Callable[["ComputeNode", OSInstance], None]] = []
         self._reboot_requested = False
+        #: Optional :class:`repro.trace.Tracer` — set by the middleware.
+        self.tracer = None
 
     # -- inspection ---------------------------------------------------------
 
@@ -181,10 +183,15 @@ class ComputeNode:
 
     # -- internals -----------------------------------------------------------
 
+    def _trace(self, kind: str, *, cause: Optional[str] = None, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(kind, node=self.name, cause=cause, **fields)
+
     def _shutdown_os(self) -> None:
         if self.current_os is not None:
             os_instance = self.current_os
             os_instance.stop()
+            self._trace("node.os_down", os=os_instance.kind)
             for callback in self.on_os_down:
                 callback(self, os_instance)
             self.current_os = None
@@ -198,6 +205,9 @@ class ComputeNode:
         record = BootRecord(started_at=self.sim.now, cold=cold)
         self.boot_records.append(record)
         self.state = NodeState.BOOTING
+        self._trace(
+            "boot.start", cold=cold, boot_index=len(self.boot_records) - 1
+        )
         try:
             outcome = resolve_boot(self.disk, self.firmware, self.mac, self.env)
         except BootError as exc:
@@ -207,6 +217,7 @@ class ComputeNode:
             self.state = NodeState.FAILED
             record.finished_at = self.sim.now
             record.error = str(exc)
+            self._trace("boot.failed", cause=str(exc))
             return record
 
         record.via = outcome.via
@@ -217,11 +228,13 @@ class ComputeNode:
                 self.state = NodeState.FAILED
                 record.finished_at = self.sim.now
                 record.error = "installer boot with no deployment in progress"
+                self._trace("boot.failed", cause=record.error)
                 return record
             phases = self.timing.draw(
                 self.rng, self.name, "linux", via_pxe=True, cold=cold
             )
             yield Timeout(phases.total_s)
+            self._trace("boot.installer", via=outcome.via)
             yield from self.installer_handler(self, outcome)
             record.finished_at = self.sim.now
             # the installer ends by rebooting into the deployed system
@@ -242,6 +255,7 @@ class ComputeNode:
             self.state = NodeState.FAILED
             record.finished_at = self.sim.now
             record.error = f"no runtime factory for {outcome.os_name!r}"
+            self._trace("boot.failed", cause=record.error)
             return record
         try:
             os_instance = factory(self, outcome)
@@ -249,6 +263,7 @@ class ComputeNode:
             self.state = NodeState.FAILED
             record.finished_at = self.sim.now
             record.error = str(exc)
+            self._trace("boot.failed", cause=record.error)
             return record
         os_instance.context["request_reboot"] = self.request_reboot
         os_instance.context["node"] = self
@@ -258,6 +273,13 @@ class ComputeNode:
         os_instance.start()
         self.state = NodeState.UP
         record.finished_at = self.sim.now
+        self._trace("node.os_up", os=outcome.os_name)
+        self._trace(
+            "boot.complete",
+            os=outcome.os_name,
+            via=outcome.via,
+            duration_s=record.duration_s,
+        )
         for callback in self.on_os_up:
             callback(self, os_instance)
         return record

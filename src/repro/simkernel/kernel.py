@@ -62,6 +62,10 @@ class Simulator:
         self._seq: int = 0
         self._processes_started: int = 0
         self._events_executed: int = 0
+        #: Optional :class:`repro.trace.Tracer`.  Kernel-level events are
+        #: only emitted when the tracer's ``kernel_events`` flag is set —
+        #: they are very chatty and off by default.
+        self.tracer: Optional[Any] = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -119,12 +123,18 @@ class Simulator:
         from repro.simkernel.process import Process  # local: avoid cycle
 
         self._processes_started += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.kernel_events:
+            tracer.emit("kernel.spawn", process=name or type(generator).__name__)
         return Process(self, generator, name=name)
 
     def timeout(self, delay: float) -> Event:
         """An event that triggers after *delay* seconds (callback style)."""
         ev = self.event(name=f"timeout({delay})")
         self.schedule(delay, ev.succeed)
+        tracer = self.tracer
+        if tracer is not None and tracer.kernel_events:
+            tracer.emit("kernel.timeout", delay_s=delay)
         return ev
 
     # -- execution ---------------------------------------------------------
@@ -137,6 +147,10 @@ class Simulator:
                 continue
             self._now = entry.time
             self._events_executed += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.kernel_events:
+                from repro.trace.events import callback_name
+                tracer.emit("kernel.fire", callback=callback_name(entry.fn))
             entry.fn(*entry.args)
             return True
         return False

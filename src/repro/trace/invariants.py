@@ -1,0 +1,294 @@
+"""Trace-driven invariant checks: the post-hoc correctness oracle.
+
+Each invariant is a function ``events -> list[Violation]`` registered in
+:data:`INVARIANTS`.  They encode end-to-end properties of the paper's
+control loop that aggregate counters cannot see — e.g. that a CONFIRMED
+switch order really was preceded by a matching reboot of that node, or
+that no decision ever consumed a Windows report older than the staleness
+cap.  ``check_events``/``check_jsonl`` run the whole battery over any
+experiment's trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.trace import events as ev
+from repro.trace.events import TraceEvent
+
+#: Two events at the "same" simulation instant may differ by float noise.
+_TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored to the offending event."""
+
+    invariant: str
+    message: str
+    seq: Optional[int] = None
+    time: Optional[float] = None
+
+    def __str__(self) -> str:
+        where = "" if self.seq is None else f" (event #{self.seq} @ t={self.time})"
+        return f"[{self.invariant}] {self.message}{where}"
+
+
+InvariantFn = Callable[[Sequence[TraceEvent]], List[Violation]]
+
+INVARIANTS: Dict[str, InvariantFn] = {}
+
+
+def invariant(name: str) -> Callable[[InvariantFn], InvariantFn]:
+    def register(fn: InvariantFn) -> InvariantFn:
+        INVARIANTS[name] = fn
+        return fn
+    return register
+
+
+def _violate(name: str, message: str,
+             event: Optional[TraceEvent] = None) -> Violation:
+    if event is None:
+        return Violation(invariant=name, message=message)
+    return Violation(invariant=name, message=message,
+                     seq=event.seq, time=event.time)
+
+
+# ---------------------------------------------------------------------------
+# 1. Simulation time never runs backwards.
+# ---------------------------------------------------------------------------
+
+@invariant("monotonic-time")
+def check_monotonic_time(events: Sequence[TraceEvent]) -> List[Violation]:
+    """Event times are non-decreasing in emission order."""
+    out: List[Violation] = []
+    last = None
+    for e in events:
+        if last is not None and e.time < last - _TIME_EPS:
+            out.append(_violate(
+                "monotonic-time",
+                f"time went backwards: {last} -> {e.time} at {e.kind}", e))
+        last = e.time
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 2. Every CONFIRMED switch order has a matching reboot span.
+# ---------------------------------------------------------------------------
+
+@invariant("confirmed-order-has-boot")
+def check_confirmed_order_has_boot(
+        events: Sequence[TraceEvent]) -> List[Violation]:
+    """An ``order.confirmed`` implies the node completed a boot into the
+    ordered OS between the order being issued and being confirmed.
+
+    Confirmation happens when the node rejoins the target scheduler,
+    which fires while the OS is starting — i.e. possibly *before* the
+    ``boot.complete`` record at the same simulation instant — so the
+    window comparison is by time with epsilon, not by sequence number.
+    """
+    out: List[Violation] = []
+    issued_at: Dict[str, float] = {}
+    for e in events:
+        if e.kind == ev.ORDER_ISSUED:
+            order_id = e.fields.get("order_id")
+            if order_id is not None:
+                issued_at[str(order_id)] = e.time
+    boots = [e for e in events if e.kind == ev.BOOT_COMPLETE]
+    for e in events:
+        if e.kind != ev.ORDER_CONFIRMED:
+            continue
+        order_id = str(e.fields.get("order_id"))
+        target_os = e.fields.get("target_os")
+        if order_id not in issued_at:
+            out.append(_violate(
+                "confirmed-order-has-boot",
+                f"order {order_id} confirmed but never issued", e))
+            continue
+        t_issue = issued_at[order_id]
+        matched = any(
+            b.node == e.node
+            and b.fields.get("os") == target_os
+            and t_issue - _TIME_EPS <= b.time <= e.time + _TIME_EPS
+            for b in boots)
+        if not matched:
+            out.append(_violate(
+                "confirmed-order-has-boot",
+                f"order {order_id} confirmed on {e.node} for "
+                f"{target_os!r} without a matching boot.complete in "
+                f"[{t_issue}, {e.time}]", e))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 3. No decision consumes a report older than the staleness cap.
+# ---------------------------------------------------------------------------
+
+@invariant("decision-freshness")
+def check_decision_freshness(events: Sequence[TraceEvent]) -> List[Violation]:
+    """Every ``control.decision`` that records a report age must have
+    ``report_age_s <= staleness_cap_s``.  A correctly-hardened
+    communicator skips the evaluation entirely (emitting
+    ``comm.stale_skip``) instead of deciding on stale data.
+    """
+    out: List[Violation] = []
+    for e in events:
+        if e.kind != ev.CONTROL_DECISION:
+            continue
+        age = e.fields.get("report_age_s")
+        cap = e.fields.get("staleness_cap_s")
+        if age is None or cap is None:
+            continue
+        if float(age) > float(cap) + _TIME_EPS:
+            out.append(_violate(
+                "decision-freshness",
+                f"decision consumed a report {float(age):.1f}s old "
+                f"(cap {float(cap):.1f}s)", e))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 4. Node OS state never changes without a boot-chain span.
+# ---------------------------------------------------------------------------
+
+@invariant("os-change-has-boot-chain")
+def check_os_change_has_boot_chain(
+        events: Sequence[TraceEvent]) -> List[Violation]:
+    """``node.os_up`` may only happen inside an open boot span
+    (``boot.start`` .. ``boot.complete``/``boot.failed``) on that node.
+    """
+    out: List[Violation] = []
+    boot_open: Dict[str, bool] = {}
+    for e in events:
+        if e.node is None:
+            continue
+        if e.kind == ev.BOOT_START:
+            boot_open[e.node] = True
+        elif e.kind == ev.NODE_OS_UP:
+            if not boot_open.get(e.node):
+                out.append(_violate(
+                    "os-change-has-boot-chain",
+                    f"{e.node} came up as {e.fields.get('os')!r} with no "
+                    f"open boot span", e))
+        elif e.kind == ev.BOOT_COMPLETE or e.kind == ev.BOOT_FAILED:
+            boot_open[e.node] = False
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 5. Every report the Linux side decoded was verbatim one the Windows
+#    side sent (corruptions must fail decode, not smuggle wrong data in).
+# ---------------------------------------------------------------------------
+
+@invariant("received-was-sent")
+def check_received_was_sent(events: Sequence[TraceEvent]) -> List[Violation]:
+    """Each network-delivered ``comm.report_received`` wire string must
+    have appeared in an earlier-or-simultaneous ``comm.report_sent``.
+    Reports handed over in-process (``via="direct"``) are exempt.
+    """
+    out: List[Violation] = []
+    sent_at: Dict[str, float] = {}
+    for e in events:
+        if e.kind == ev.COMM_REPORT_SENT:
+            wire = e.fields.get("wire")
+            if wire is not None and wire not in sent_at:
+                sent_at[str(wire)] = e.time
+        elif e.kind == ev.COMM_REPORT_RECEIVED:
+            if e.fields.get("via") != "network":
+                continue
+            wire = str(e.fields.get("wire"))
+            if wire not in sent_at or sent_at[wire] > e.time + _TIME_EPS:
+                out.append(_violate(
+                    "received-was-sent",
+                    f"decoded wire {wire!r} was never sent (or was sent "
+                    f"later)", e))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 6. Switch-order ledger bookkeeping is sane.
+# ---------------------------------------------------------------------------
+
+@invariant("order-lifecycle")
+def check_order_lifecycle(events: Sequence[TraceEvent]) -> List[Violation]:
+    """Each order id is issued exactly once and resolved at most once
+    (confirmed xor failed), with resolution not before issue.
+    """
+    out: List[Violation] = []
+    issued: Dict[str, TraceEvent] = {}
+    resolved: Dict[str, TraceEvent] = {}
+    for e in events:
+        if e.kind not in (ev.ORDER_ISSUED, ev.ORDER_CONFIRMED, ev.ORDER_FAILED):
+            continue
+        order_id = str(e.fields.get("order_id"))
+        if e.kind == ev.ORDER_ISSUED:
+            if order_id in issued:
+                out.append(_violate(
+                    "order-lifecycle",
+                    f"order {order_id} issued twice", e))
+            issued[order_id] = e
+        else:
+            if order_id not in issued:
+                out.append(_violate(
+                    "order-lifecycle",
+                    f"order {order_id} resolved ({e.kind}) without being "
+                    f"issued", e))
+                continue
+            if order_id in resolved:
+                out.append(_violate(
+                    "order-lifecycle",
+                    f"order {order_id} resolved twice "
+                    f"({resolved[order_id].kind} then {e.kind})", e))
+                continue
+            resolved[order_id] = e
+            if e.time < issued[order_id].time - _TIME_EPS:
+                out.append(_violate(
+                    "order-lifecycle",
+                    f"order {order_id} resolved before it was issued", e))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 7. Faults only fire once the injector is armed.
+# ---------------------------------------------------------------------------
+
+@invariant("fault-after-arm")
+def check_fault_after_arm(events: Sequence[TraceEvent]) -> List[Violation]:
+    """Every ``fault.*`` event (other than ``fault.armed`` itself) must
+    occur at or after an arming event — injected chaos never predates the
+    injector being switched on.
+    """
+    out: List[Violation] = []
+    armed_at: Optional[float] = None
+    for e in events:
+        if e.kind == ev.FAULT_ARMED:
+            if armed_at is None or e.time < armed_at:
+                armed_at = e.time
+        elif e.kind.startswith(ev.FAULT_PREFIX):
+            if armed_at is None or e.time < armed_at - _TIME_EPS:
+                out.append(_violate(
+                    "fault-after-arm",
+                    f"{e.kind} fired before the injector was armed", e))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+
+def check_events(events: Sequence[TraceEvent],
+                 names: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Run the selected invariants (default: all) over a trace."""
+    selected = list(INVARIANTS) if names is None else list(names)
+    out: List[Violation] = []
+    for name in selected:
+        out.extend(INVARIANTS[name](events))
+    return out
+
+
+def check_jsonl(text: str,
+                names: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Run invariants over a JSONL export (see ``Tracer.export_jsonl``)."""
+    from repro.trace.tracer import Tracer
+    return check_events(Tracer.load_jsonl(text), names)

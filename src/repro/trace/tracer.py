@@ -1,0 +1,102 @@
+"""The event collector attached to one simulated cluster.
+
+A :class:`Tracer` is created per middleware instance (one per simulated
+cluster) and handed to every instrumented component.  Components call
+:meth:`Tracer.emit`; analysis code reads :attr:`Tracer.events` or the
+canonical JSONL export.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.trace.events import TraceEvent
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records for one simulation.
+
+    ``kernel_events`` gates the very chatty simkernel hooks
+    (``kernel.spawn``/``kernel.fire``/``kernel.timeout``); experiments
+    leave it off and only the focused control-plane events are recorded.
+    """
+
+    def __init__(self, sim: Any, name: str = "trace",
+                 kernel_events: bool = False) -> None:
+        self.sim = sim
+        self.name = name
+        self.kernel_events = kernel_events
+        self.enabled = True
+        self.events: List[TraceEvent] = []
+        self.counts: Counter = Counter()
+        self._seq = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer(name={self.name!r}, events={len(self.events)})"
+
+    # -- recording -----------------------------------------------------------
+
+    def emit(self, kind: str, *, node: Optional[str] = None,
+             cycle: Optional[int] = None, cause: Optional[str] = None,
+             **fields: Any) -> Optional[TraceEvent]:
+        """Record one event at the current simulation time."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(
+            seq=self._seq,
+            time=float(self.sim.now),
+            kind=kind,
+            node=node,
+            cycle=cycle,
+            cause=cause,
+            fields=fields,
+        )
+        self._seq += 1
+        self.events.append(event)
+        self.counts[kind] += 1
+        return event
+
+    # -- querying ------------------------------------------------------------
+
+    def events_of(self, *kinds: str) -> List[TraceEvent]:
+        """Events whose kind is one of ``kinds`` (exact match)."""
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def events_with_prefix(self, prefix: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind.startswith(prefix)]
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by kind, sorted by kind name."""
+        return {kind: self.counts[kind] for kind in sorted(self.counts)}
+
+    # -- export --------------------------------------------------------------
+
+    def export_jsonl(self) -> str:
+        """The full trace as canonical JSONL (one event per line)."""
+        return "".join(e.to_json() + "\n" for e in self.events)
+
+    def write_jsonl(self, path: Any) -> None:
+        with open(path, "w", encoding="ascii") as fh:
+            fh.write(self.export_jsonl())
+
+    @staticmethod
+    def load_jsonl(text: str) -> List[TraceEvent]:
+        """Parse a JSONL export back into events."""
+        return [TraceEvent.from_json(line)
+                for line in text.splitlines() if line.strip()]
+
+    @staticmethod
+    def read_jsonl(path: Any) -> List[TraceEvent]:
+        with open(path, "r", encoding="ascii") as fh:
+            return Tracer.load_jsonl(fh.read())
+
+
+def merge_events(traces: Iterable[Tracer]) -> List[TraceEvent]:
+    """All events from several tracers, ordered by (time, tracer, seq)."""
+    merged: List[TraceEvent] = []
+    for tracer in traces:
+        merged.extend(tracer.events)
+    merged.sort(key=lambda e: (e.time, e.seq))
+    return merged

@@ -5,25 +5,27 @@ import pytest
 from repro.core.wire import NO_JOB, QueueStateMessage
 from repro.errors import MiddlewareError
 
+from tests.fixtures import FIGURE6_IDLE_WIRE, FIGURE6_STUCK_WIRE
+
 
 def test_idle_message_matches_figure6():
-    assert QueueStateMessage.idle().encode() == "00000none"
+    assert QueueStateMessage.idle().encode() == FIGURE6_IDLE_WIRE
 
 
 def test_stuck_message_matches_figure6():
     msg = QueueStateMessage.stuck_queue(4, "1191.eridani.qgg.hud.ac.uk")
-    assert msg.encode() == "100041191.eridani.qgg.hud.ac.uk"
+    assert msg.encode() == FIGURE6_STUCK_WIRE
 
 
 def test_roundtrip_idle():
-    decoded = QueueStateMessage.decode("00000none")
+    decoded = QueueStateMessage.decode(FIGURE6_IDLE_WIRE)
     assert decoded == QueueStateMessage.idle()
     assert not decoded.stuck
     assert not decoded.has_job
 
 
 def test_roundtrip_stuck():
-    wire = "100041191.eridani.qgg.hud.ac.uk"
+    wire = FIGURE6_STUCK_WIRE
     decoded = QueueStateMessage.decode(wire)
     assert decoded.stuck
     assert decoded.needed_cpus == 4
@@ -38,7 +40,7 @@ def test_cpu_field_zero_padded():
 
 
 def test_decode_tolerates_trailing_padding():
-    decoded = QueueStateMessage.decode("00000none" + " " * 10)
+    decoded = QueueStateMessage.decode(FIGURE6_IDLE_WIRE + " " * 10)
     assert decoded.stuck_jobid == NO_JOB
 
 

@@ -8,6 +8,8 @@ from hypothesis import given, strategies as st
 from repro.core.wire import JOBID_FIELD_WIDTH, QueueStateMessage
 from repro.errors import MiddlewareError
 
+from tests.fixtures import FIGURE6_IDLE_WIRE, FIGURE6_STUCK_WIRE
+
 jobid_chars = st.text(
     alphabet=string.ascii_lowercase + string.digits + ".-",
     min_size=1,
@@ -58,14 +60,14 @@ def test_decode_ignores_undefined_tail(stuck, cpus, jobid, padding):
 
 
 def test_figure6_idle_wire_verbatim():
-    message = QueueStateMessage.decode("00000none")
+    message = QueueStateMessage.decode(FIGURE6_IDLE_WIRE)
     assert message == QueueStateMessage.idle()
     assert not message.stuck and not message.has_job
-    assert message.encode() == "00000none"
+    assert message.encode() == FIGURE6_IDLE_WIRE
 
 
 def test_figure6_stuck_wire_verbatim():
-    wire = "100041191.eridani.qgg.hud.ac.uk"
+    wire = FIGURE6_STUCK_WIRE
     message = QueueStateMessage.decode(wire)
     assert message.stuck
     assert message.needed_cpus == 4

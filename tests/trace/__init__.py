@@ -1,0 +1,1 @@
+"""Tests for the structured event tracing subsystem (repro.trace)."""

@@ -1,0 +1,149 @@
+"""Unit tests for TraceEvent / Tracer: canonical JSONL, querying, gating."""
+
+import json
+
+import pytest
+
+from repro.simkernel import Simulator
+from repro.trace import TraceEvent, Tracer, callback_name
+from repro.trace.tracer import merge_events
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+# -- TraceEvent serialisation -------------------------------------------------
+
+
+def test_event_to_dict_drops_empty_optionals(sim):
+    event = TraceEvent(seq=0, time=1.5, kind="order.issued")
+    assert event.to_dict() == {"seq": 0, "t": 1.5, "kind": "order.issued"}
+
+
+def test_event_json_is_canonical():
+    event = TraceEvent(
+        seq=3, time=2.0, kind="boot.complete", node="enode01",
+        fields={"os": "linux", "via": "pxe"},
+    )
+    line = event.to_json()
+    # compact separators, sorted keys, no unicode escapes needed
+    assert line == json.dumps(json.loads(line), sort_keys=True,
+                              separators=(",", ":"))
+    assert TraceEvent.from_json(line) == event
+
+
+def test_event_roundtrip_preserves_all_fields():
+    event = TraceEvent(
+        seq=9, time=600.0, kind="order.failed", node="enode02",
+        cycle=4, cause="watchdog deadline passed",
+        fields={"order_id": 2, "target_os": "windows"},
+    )
+    assert TraceEvent.from_json(event.to_json()) == event
+
+
+def test_non_jsonable_fields_coerced_to_str(sim):
+    tracer = Tracer(sim)
+    event = tracer.emit("x", obj=object(), nums=(1, 2))
+    decoded = json.loads(event.to_json())
+    assert isinstance(decoded["fields"]["obj"], str)
+    assert decoded["fields"]["nums"] == [1, 2]
+
+
+def test_callback_name_never_embeds_addresses():
+    # repr(bound method) contains "0x..." which would break byte-identical
+    # exports across runs; callback_name must not
+    class Thing:
+        def method(self):  # pragma: no cover - never called
+            pass
+
+    name = callback_name(Thing().method)
+    assert "0x" not in name
+    assert "method" in name
+    assert callback_name(lambda: None)  # lambdas get *some* stable name
+
+
+# -- Tracer recording ---------------------------------------------------------
+
+
+def test_emit_stamps_sim_time_and_sequences(sim):
+    tracer = Tracer(sim)
+    tracer.emit("a.one")
+    sim.schedule_at(10.0, lambda: tracer.emit("a.two", node="n1", extra=7))
+    sim.run()
+    assert [e.seq for e in tracer.events] == [0, 1]
+    assert [e.time for e in tracer.events] == [0.0, 10.0]
+    assert tracer.events[1].node == "n1"
+    assert tracer.events[1].fields == {"extra": 7}
+
+
+def test_disabled_tracer_records_nothing(sim):
+    tracer = Tracer(sim)
+    tracer.enabled = False
+    assert tracer.emit("a.one") is None
+    assert tracer.events == []
+    assert tracer.counts == {}
+
+
+def test_events_of_and_prefix_queries(sim):
+    tracer = Tracer(sim)
+    for kind in ("boot.start", "boot.complete", "order.issued", "boot.start"):
+        tracer.emit(kind)
+    assert len(tracer.events_of("boot.start")) == 2
+    assert len(tracer.events_of("boot.start", "order.issued")) == 3
+    assert len(tracer.events_with_prefix("boot.")) == 3
+    assert tracer.summary() == {
+        "boot.complete": 1, "boot.start": 2, "order.issued": 1,
+    }
+
+
+def test_kernel_events_gated_by_flag():
+    sim = Simulator()
+    quiet = Tracer(sim)
+    sim.tracer = quiet
+
+    def proc():
+        yield sim.timeout(5.0)
+
+    sim.spawn(proc(), name="p")
+    sim.run()
+    assert quiet.events_with_prefix("kernel.") == []
+
+    sim2 = Simulator()
+    chatty = Tracer(sim2, kernel_events=True)
+    sim2.tracer = chatty
+
+    def proc2():
+        yield sim2.timeout(5.0)
+
+    sim2.spawn(proc2(), name="p")
+    sim2.run()
+    kinds = {e.kind for e in chatty.events_with_prefix("kernel.")}
+    assert kinds == {"kernel.spawn", "kernel.fire", "kernel.timeout"}
+
+
+# -- export / import ----------------------------------------------------------
+
+
+def test_jsonl_export_roundtrip(sim, tmp_path):
+    tracer = Tracer(sim)
+    tracer.emit("a.one", node="n", val=1.5)
+    tracer.emit("a.two", cause="because")
+    text = tracer.export_jsonl()
+    assert text.count("\n") == 2
+    assert Tracer.load_jsonl(text) == tracer.events
+
+    path = tmp_path / "trace.jsonl"
+    tracer.write_jsonl(path)
+    assert Tracer.read_jsonl(path) == tracer.events
+
+
+def test_merge_events_orders_by_time_then_seq(sim):
+    a, b = Tracer(sim, name="a"), Tracer(sim, name="b")
+    a.emit("x")
+    sim.schedule_at(5.0, lambda: b.emit("y"))
+    sim.schedule_at(9.0, lambda: a.emit("z"))
+    sim.run()
+    merged = merge_events([a, b])
+    assert [e.kind for e in merged] == ["x", "y", "z"]
