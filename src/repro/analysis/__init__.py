@@ -1,0 +1,47 @@
+"""reprolint — determinism-aware static analysis for this codebase.
+
+PR 2 made behavioural determinism the repo's correctness contract
+(byte-identical trace exports checked by a runtime oracle); this package
+is the *static* half of that contract.  It walks source ASTs looking for
+the constructs that historically break same-seed reproducibility — wall
+clock reads, global RNG state, hash-order-dependent set iteration, real
+concurrency inside the simulated substrate, unregistered trace kinds —
+plus general API hygiene, and fails the build before the determinism
+battery ever has to catch the regression at runtime.
+
+Entry points:
+
+* CLI: ``repro-lint`` (or ``python -m repro.analysis``),
+* tests: :func:`lint_paths` / :func:`lint_source` return a
+  :class:`LintReport` of :class:`Finding` records,
+* extension: subclass :class:`Rule` and decorate with :func:`register`
+  (see docs/STATIC_ANALYSIS.md).
+"""
+
+from repro.analysis.config import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    RulePolicy,
+    SUBSTRATE_PACKAGES,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, RuleContext, all_rules, register, rule_ids
+from repro.analysis.runner import LintReport, lint_paths, lint_source, module_name_for
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "RuleContext",
+    "RulePolicy",
+    "SUBSTRATE_PACKAGES",
+    "Severity",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "register",
+    "rule_ids",
+]

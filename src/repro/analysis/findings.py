@@ -1,0 +1,76 @@
+"""Finding records — what a lint rule reports.
+
+A :class:`Finding` is one violation at one source location.  Findings are
+value objects: the runner sorts them by ``(path, line, col, rule)`` so a
+lint run over the same tree always prints in the same order — the lint
+tool holds itself to the determinism contract it enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Tuple
+
+
+class Severity(enum.Enum):
+    """How seriously a finding is treated by the runner.
+
+    ``OFF`` disables a rule for a package; ``WARNING`` findings are
+    reported but only fail a run under ``--strict``; ``ERROR`` findings
+    always fail the run.
+    """
+
+    OFF = "off"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            valid = ", ".join(s.value for s in cls)
+            raise ValueError(
+                f"unknown severity {text!r} (expected one of: {valid})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is the file as given to the runner, ``line``/``col`` are
+    1-based / 0-based per ``ast`` convention, ``rule`` the short id
+    (``DET001``), ``message`` the human explanation.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def with_severity(self, severity: Severity) -> "Finding":
+        return replace(self, severity=severity)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )

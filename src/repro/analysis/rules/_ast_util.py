@@ -1,0 +1,75 @@
+"""Shared AST helpers for lint rules.
+
+The central piece is :class:`ImportMap`: a per-file table of what each
+local name means in dotted-module terms, so rules match on *resolved*
+names (``np.random.seed`` -> ``numpy.random.seed``) and aliasing cannot
+dodge a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+
+class ImportMap:
+    """Maps local names to the dotted origin they were imported as.
+
+    ``import numpy as np``            -> ``{"np": "numpy"}``
+    ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``
+    ``from time import time as now``  -> ``{"now": "time.time"}``
+
+    Only absolute imports are tracked; relative imports resolve inside
+    the package under analysis and are never the stdlib modules the
+    determinism rules care about.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.names[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a ``Name``/``Attribute`` chain, if imported.
+
+        Returns ``None`` for anything rooted in a local (non-imported)
+        name — rules must not guess about locals.
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.names.get(node.id)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+
+def walk_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def is_name_call(node: ast.AST, *names: str) -> bool:
+    """True for a call of a bare builtin-style name: ``set(...)`` etc."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in names
+    )

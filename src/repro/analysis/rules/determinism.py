@@ -1,0 +1,198 @@
+"""Determinism rules: wall-clock reads, global RNG state, real concurrency.
+
+These are the static counterparts of the runtime trace oracle: each one
+bans a construct that makes two same-seed runs diverge (or makes the
+simulation depend on host wall time), which the determinism battery
+would only catch after the fact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, RuleContext, register
+from repro.analysis.rules._ast_util import ImportMap, walk_calls
+
+#: Callables that read the host wall clock (or block on it).
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.localtime",
+    "time.gmtime",
+    "time.sleep",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+#: Legacy ``numpy.random`` module-level API — all of it mutates or reads
+#: one hidden global RandomState.
+NUMPY_GLOBAL_RNG = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "bytes",
+    "normal", "uniform", "standard_normal", "poisson", "binomial",
+    "exponential", "beta", "gamma", "lognormal", "pareto", "weibull",
+    "get_state", "set_state",
+})
+
+#: Modules providing real OS concurrency / process control.  Inside the
+#: simulated substrate, time only advances through the event queue; any
+#: of these smuggles in host-scheduler nondeterminism.
+CONCURRENCY_MODULES = frozenset({
+    "threading", "asyncio", "subprocess", "multiprocessing",
+    "concurrent", "socket", "selectors", "signal",
+})
+
+
+@register
+class WallClockRule(Rule):
+    id = "DET001"
+    summary = "wall-clock read in simulation code"
+    rationale = (
+        "Simulated components must take time from Simulator.now, never "
+        "from the host clock: a wall-clock read makes trace exports and "
+        "decisions differ between identical runs.  Host-side layers that "
+        "genuinely need a bench timer suppress with a justification."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for call in walk_calls(ctx.tree):
+            target = imports.resolve(call.func)
+            if target in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, call,
+                    f"call to {target}() reads the host clock; use the "
+                    "simulation clock (Simulator.now) instead",
+                )
+
+
+@register
+class GlobalRandomRule(Rule):
+    id = "DET002"
+    summary = "global random state instead of a named RNG substream"
+    rationale = (
+        "All randomness must come from RngRegistry.stream(name) "
+        "(repro.simkernel.rng): named, independently seeded substreams. "
+        "The stdlib random module and the legacy numpy.random module "
+        "API share hidden global state, so any draw perturbs every "
+        "later draw — one new call site reshuffles the whole run."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node,
+                            "import of stdlib random: use a named substream "
+                            "from repro.simkernel.rng instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(
+                        ctx, node,
+                        "import from stdlib random: use a named substream "
+                        "from repro.simkernel.rng instead",
+                    )
+        imports = ImportMap(ctx.tree)
+        for call in walk_calls(ctx.tree):
+            target = imports.resolve(call.func)
+            if target is None or not target.startswith("numpy.random."):
+                continue
+            fn = target[len("numpy.random."):]
+            if fn in NUMPY_GLOBAL_RNG:
+                yield self.finding(
+                    ctx, call,
+                    f"numpy.random.{fn}() uses the hidden global "
+                    "RandomState; draw from a named Generator substream",
+                )
+            elif fn == "default_rng" and not call.args and not call.keywords:
+                yield self.finding(
+                    ctx, call,
+                    "numpy.random.default_rng() without a seed is "
+                    "entropy-seeded; derive the seed from the run seed",
+                )
+
+
+#: ``strftime`` directives whose expansion depends on ``LC_TIME``.
+LOCALE_STRFTIME_DIRECTIVES = ("%a", "%A", "%b", "%B", "%c", "%p", "%x", "%X")
+
+
+@register
+class LocaleStrftimeRule(Rule):
+    id = "DET005"
+    summary = "locale-dependent strftime directive in rendered output"
+    rationale = (
+        "strftime's %a/%A/%b/%B/%c/%p/%x/%X expand through LC_TIME: an "
+        "embedding process that calls locale.setlocale changes the "
+        "rendered text, breaking byte-identical exports.  Render names "
+        "from fixed tables (see repro.pbs.formats.render_time)."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for call in walk_calls(ctx.tree):
+            if not (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "strftime"
+                and call.args
+            ):
+                continue
+            fmt = call.args[0]
+            if not (isinstance(fmt, ast.Constant) and isinstance(fmt.value, str)):
+                continue
+            bad = [d for d in LOCALE_STRFTIME_DIRECTIVES if d in fmt.value]
+            if bad:
+                yield self.finding(
+                    ctx, call,
+                    f"strftime directive(s) {', '.join(bad)} expand "
+                    "through LC_TIME and vary with the host locale; "
+                    "render the names from fixed tables instead",
+                )
+
+
+@register
+class ConcurrencyImportRule(Rule):
+    id = "DET004"
+    summary = "real concurrency/process primitive in the simulated substrate"
+    rationale = (
+        "The substrate is single-threaded by construction: concurrency "
+        "is modelled as interleaved simulator events, so results do not "
+        "depend on the host scheduler.  threading/asyncio/subprocess "
+        "and friends reintroduce exactly that dependency."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in CONCURRENCY_MODULES:
+                        yield self.finding(
+                            ctx, node,
+                            f"import of {alias.name} inside the simulated "
+                            "substrate: model concurrency as simulator "
+                            "events, not host threads/processes",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue
+                root = (node.module or "").split(".")[0]
+                if root in CONCURRENCY_MODULES:
+                    yield self.finding(
+                        ctx, node,
+                        f"import from {node.module} inside the simulated "
+                        "substrate: model concurrency as simulator "
+                        "events, not host threads/processes",
+                    )

@@ -1,0 +1,58 @@
+"""API001 — API hygiene: mutable default arguments and bare ``except:``.
+
+Both are classic Python traps with a determinism twist in this repo:
+a mutable default is shared state across calls (cross-run contamination
+when a simulation object leaks into it), and a bare ``except`` swallows
+the control-plane's typed error taxonomy (repro.errors) along with
+``KeyboardInterrupt`` and friends.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, RuleContext, register
+from repro.analysis.rules._ast_util import is_name_call
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return is_name_call(node, "list", "dict", "set", "bytearray")
+
+
+@register
+class ApiHygieneRule(Rule):
+    id = "API001"
+    summary = "mutable default argument or bare except"
+    rationale = (
+        "Mutable defaults are evaluated once and shared by every call; "
+        "use None plus an in-body default (or dataclass field factories). "
+        "Bare except catches SystemExit/KeyboardInterrupt and hides the "
+        "typed errors the control plane is built around — name the "
+        "exception class, or use 'except Exception' with a reason."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_literal(default):
+                        yield self.finding(
+                            ctx, default,
+                            f"mutable default argument in {node.name}(): "
+                            "evaluated once and shared across calls — "
+                            "default to None and construct in the body",
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt "
+                    "and masks typed errors — catch a named exception",
+                )

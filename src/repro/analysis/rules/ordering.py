@@ -1,0 +1,125 @@
+"""DET003 — unordered set iteration feeding ordered work.
+
+Set iteration order in CPython depends on element hashes, and string
+hashes depend on ``PYTHONHASHSEED``: two identical runs in different
+processes can walk the same set in different orders.  Any set that is
+iterated into an ordered output (a list, a joined string, a loop with
+side effects in a decision path) therefore needs an explicit
+``sorted(...)``.
+
+Dict iteration, by contrast, is insertion-ordered (guaranteed since
+Python 3.7) and thus deterministic when the insertions are — so plain
+dict loops are **not** flagged; hunting them produced only false
+positives on this codebase (an earlier draft of this rule flagged every
+``.items()`` loop and all 40+ hits were order-insensitive reductions or
+already sorted).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, RuleContext, register
+from repro.analysis.rules._ast_util import is_name_call
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Bare-name calls whose result is consumed element-by-element in order.
+_ORDERED_CONSUMERS = ("list", "tuple", "enumerate", "iter", "reversed")
+
+
+def _set_names(tree: ast.Module) -> Set[str]:
+    """Names that are only ever assigned set-typed expressions.
+
+    Conservative: a name also assigned anything non-set anywhere in the
+    file is excluded, so rebinding to a sorted list clears the taint.
+    """
+    tainted: Set[str] = set()
+    cleared: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        if _is_set_expr(value, tainted):
+            tainted.add(target.id)
+        else:
+            cleared.add(target.id)
+    return tainted - cleared
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if is_name_call(node, "set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "DET003"
+    summary = "iteration over a set without sorted() feeding ordered output"
+    rationale = (
+        "Set order is hash-seed dependent, so a set walked into a list, "
+        "a joined string, a trace emission loop, or any decision path "
+        "can differ between identical runs.  Wrap the set in sorted() "
+        "at the point of consumption (order-insensitive uses — len, "
+        "membership, sum, min/max, any/all — are fine and not flagged)."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        names = _set_names(ctx.tree)
+
+        def offender(node: ast.AST) -> bool:
+            return _is_set_expr(node, names)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and offender(node.iter):
+                yield self.finding(
+                    ctx, node.iter,
+                    "for-loop over a set: iteration order is hash-seed "
+                    "dependent — loop over sorted(...) instead",
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if offender(gen.iter):
+                        yield self.finding(
+                            ctx, gen.iter,
+                            "comprehension over a set: iteration order is "
+                            "hash-seed dependent — iterate sorted(...) instead",
+                        )
+            elif isinstance(node, ast.Call):
+                if is_name_call(node, *_ORDERED_CONSUMERS):
+                    if node.args and offender(node.args[0]):
+                        assert isinstance(node.func, ast.Name)
+                        yield self.finding(
+                            ctx, node,
+                            f"{node.func.id}() over a set produces a "
+                            "hash-seed-dependent order — use sorted(...)",
+                        )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                    and offender(node.args[0])
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        "str.join over a set produces a hash-seed-dependent "
+                        "string — join sorted(...) instead",
+                    )

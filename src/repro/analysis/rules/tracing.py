@@ -1,0 +1,79 @@
+"""TRC001 — trace-event kinds must be registered in repro.trace.events.
+
+The trace invariants and the golden-trace fixtures key on event kinds;
+an emitter inventing a kind string silently escapes the oracle.  The
+registry is the module-level string-constant catalogue in
+:mod:`repro.trace.events` — adding a kind there is the act of
+registering it (and the place reviewers look for the contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import lru_cache
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, RuleContext, register
+
+
+@lru_cache(maxsize=1)
+def registered_kinds() -> Tuple[FrozenSet[str], Tuple[str, ...]]:
+    """(exact kinds, allowed prefixes) from :mod:`repro.trace.events`.
+
+    Exact kinds are the values of module-level uppercase ``str``
+    constants containing a dot; constants named ``*_PREFIX`` instead
+    contribute their value as an allowed prefix (``fault.*``).
+    """
+    import repro.trace.events as events
+
+    kinds = set()
+    prefixes = []
+    for name in dir(events):
+        if not name.isupper():
+            continue
+        value = getattr(events, name)
+        if not isinstance(value, str):
+            continue
+        if name.endswith("_PREFIX"):
+            prefixes.append(value)
+        elif "." in value:
+            kinds.add(value)
+    return frozenset(kinds), tuple(sorted(prefixes))
+
+
+@register
+class UnregisteredKindRule(Rule):
+    id = "TRC001"
+    summary = "Tracer.emit() with an unregistered event kind"
+    rationale = (
+        "Every kind emitted anywhere must be declared as a constant in "
+        "repro.trace.events so the invariant oracle, the golden traces, "
+        "and readers of the catalogue see one authoritative list.  Only "
+        "literal first arguments are checkable statically; dynamic "
+        "kinds are exercised by the runtime trace tests instead."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if ctx.module == "repro.trace.events":
+            return
+        kinds, prefixes = registered_kinds()
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            kind = first.value
+            if kind in kinds or any(kind.startswith(p) for p in prefixes):
+                continue
+            yield self.finding(
+                ctx, first,
+                f"trace kind {kind!r} is not registered in "
+                "repro.trace.events; declare a constant there first",
+            )

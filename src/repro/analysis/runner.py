@@ -1,0 +1,152 @@
+"""The lint runner: file discovery, per-file analysis, report assembly.
+
+The pytest-importable API is :func:`lint_paths` (walks files and
+directories) and :func:`lint_source` (a single in-memory source string —
+what the fixture tests use).  Both return a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import all_rules
+from repro.analysis.suppressions import apply_suppressions, parse_suppressions
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def ok(self, strict: bool = False) -> bool:
+        return not self.errors and not (strict and self.warnings)
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
+            f"in {self.files_checked} file(s)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "files_checked": self.files_checked,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module name for *path*, or ``None`` outside ``repro``.
+
+    Works from the path alone (no imports): the part after the last
+    ``src/`` — or from the ``repro/`` component itself — becomes the
+    dotted name, with ``__init__`` mapping to its package.
+    """
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    parts = norm.split("/")
+    if "repro" not in parts:
+        return None
+    start = len(parts) - 1 - parts[::-1].index("repro")
+    mod_parts = parts[start:]
+    if not mod_parts[-1].endswith(".py"):
+        return None
+    mod_parts[-1] = mod_parts[-1][:-3]
+    if mod_parts[-1] == "__init__":
+        mod_parts.pop()
+    return ".".join(mod_parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> LintReport:
+    """Lint one source string as if it were the file at *path*."""
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(Finding(
+            rule="PARSE", severity=Severity.ERROR, path=path,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        ))
+        return report
+
+    from repro.analysis.registry import RuleContext
+
+    ctx = RuleContext(path=path, source=source, tree=tree, module=module)
+    raw: List[Finding] = []
+    for rule in all_rules():
+        severity = config.severity_for(rule.id, rule.default_severity, module)
+        if severity is Severity.OFF:
+            continue
+        for finding in rule.check(ctx):
+            raw.append(finding.with_severity(severity))
+
+    suppressions = parse_suppressions(source)
+    report.findings = apply_suppressions(raw, suppressions, path)
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Sorted so a run over a directory reports in a stable order
+    regardless of filesystem enumeration order.
+    """
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        else:
+            out.append(path)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str], config: LintConfig = DEFAULT_CONFIG
+) -> LintReport:
+    """Lint every ``.py`` file under *paths* into one merged report."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        sub = lint_source(
+            source, path=path, module=module_name_for(path), config=config
+        )
+        report.files_checked += sub.files_checked
+        report.findings.extend(sub.findings)
+    report.findings.sort(key=Finding.sort_key)
+    return report

@@ -21,7 +21,7 @@ state across a restart, which is exactly why the staleness guard exists.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Set
 
 from repro.core.communicator import (
     DEFAULT_ORDER_TIMEOUT_S,
@@ -73,7 +73,7 @@ class DualBootDaemons:
     ticker_process: Optional[Process] = None
     watchdog_process: Optional[Process] = None
     cycle_s: float = 10 * MINUTE
-    _crashed: set = field(default_factory=set)
+    _crashed: Set[str] = field(default_factory=set)
     tracer: Optional[Any] = None
 
     def stop(self) -> None:

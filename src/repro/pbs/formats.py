@@ -25,10 +25,22 @@ EPOCH = datetime.datetime(2010, 4, 16, 8, 0, 0)
 EPOCH_UNIX = 1271404800
 
 
+# Fixed C-locale name tables: strftime's %a/%b expand through LC_TIME,
+# so an embedding process calling locale.setlocale would change qtime
+# strings and break byte-identical exports (reprolint DET005).
+_DAY_ABBR = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+_MONTH_ABBR = ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+               "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+
+
 def render_time(sim_seconds: float) -> str:
     """``qtime``-style timestamp: ``Fri Apr 16 17:55:40 2010``."""
     stamp = EPOCH + datetime.timedelta(seconds=sim_seconds)
-    return stamp.strftime("%a %b %d %H:%M:%S %Y")
+    return (
+        f"{_DAY_ABBR[stamp.weekday()]} {_MONTH_ABBR[stamp.month - 1]} "
+        f"{stamp.day:02d} {stamp.hour:02d}:{stamp.minute:02d}:"
+        f"{stamp.second:02d} {stamp.year}"
+    )
 
 
 def render_unix_time(sim_seconds: float) -> int:

@@ -9,9 +9,12 @@ and the benchmark harness bit-for-bit reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
 
 from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.simkernel.process import Process
 
 
 class SimulationError(RuntimeError):

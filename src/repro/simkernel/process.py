@@ -20,7 +20,7 @@ function returns a value with a plain ``return``; waiters receive it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, Optional, Union
 
 from repro.simkernel.events import Event
 
@@ -244,7 +244,7 @@ def _all_of(sim: "Simulator", waitables: List[Any]) -> Event:
         barrier.succeed([])
         return barrier
 
-    def make_cb(i: int):
+    def make_cb(i: int) -> Callable[[Event], None]:
         def cb(ev: Event) -> None:
             if barrier.triggered:
                 return
@@ -268,7 +268,7 @@ def _any_of(sim: "Simulator", waitables: List[Any]) -> Event:
     race = sim.event(name="any_of")
     events = [_as_event(sim, w) for w in waitables]
 
-    def make_cb(i: int):
+    def make_cb(i: int) -> Callable[[Event], None]:
         def cb(ev: Event) -> None:
             if race.triggered:
                 return

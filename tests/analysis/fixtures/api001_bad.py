@@ -1,0 +1,17 @@
+"""API001 positive fixture: mutable defaults and a bare except."""
+
+
+def enqueue(job, queue=[]):
+    queue.append(job)
+    return queue
+
+
+def tally(counts={}, *, seen=set()):
+    return counts, seen
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except:
+        return None

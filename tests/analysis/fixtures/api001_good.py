@@ -1,0 +1,15 @@
+"""API001 negative fixture: None defaults and named exceptions."""
+
+
+def enqueue(job, queue=None):
+    if queue is None:
+        queue = []
+    queue.append(job)
+    return queue
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

@@ -1,0 +1,9 @@
+"""DET001 positive fixture: wall-clock reads in simulation code."""
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+start = time.time()
+stamp = datetime.now()
+tick = pc()
+time.sleep(0.1)

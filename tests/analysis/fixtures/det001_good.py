@@ -1,0 +1,11 @@
+"""DET001 negative fixture: time comes from the simulation clock."""
+import datetime
+
+
+def elapsed(sim):
+    return float(sim.now)
+
+
+def render(sim_seconds):
+    epoch = datetime.datetime(2010, 4, 16, 8, 0, 0)
+    return epoch + datetime.timedelta(seconds=sim_seconds)

@@ -1,0 +1,8 @@
+"""DET002 positive fixture: global RNG state."""
+import random
+import numpy as np
+
+x = random.random()
+np.random.seed(42)
+y = np.random.randint(10)
+g = np.random.default_rng()

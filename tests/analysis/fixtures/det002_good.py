@@ -1,0 +1,10 @@
+"""DET002 negative fixture: named, seeded substreams only."""
+import numpy as np
+
+
+def make_stream(run_seed):
+    return np.random.default_rng(run_seed)
+
+
+def jitter(streams, name):
+    return streams.stream(name).uniform(0.0, 1.0)

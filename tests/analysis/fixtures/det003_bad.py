@@ -1,0 +1,11 @@
+"""DET003 positive fixture: set iteration feeding ordered output."""
+
+hosts = {"wn01", "wn02"}
+
+for host in hosts:
+    print(host)
+
+names = [h.upper() for h in {"a", "b"}]
+listed = list(set(["x", "y"]))
+joined = ",".join(frozenset({"p", "q"}))
+both = [x for x in set("ab") | set("cd")]

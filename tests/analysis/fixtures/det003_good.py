@@ -1,0 +1,16 @@
+"""DET003 negative fixture: sets are sorted at consumption (or unordered use)."""
+
+hosts = {"wn01", "wn02"}
+
+for host in sorted(hosts):
+    print(host)
+
+names = [h.upper() for h in sorted({"a", "b"})]
+count = len(hosts)
+present = "wn01" in hosts
+total = sum(len(h) for h in sorted(hosts))
+overlap = hosts & {"wn02"}
+report = sorted(overlap)
+rebound = {"z", "w"}
+rebound = sorted(rebound)
+listed = list(rebound)

@@ -1,0 +1,8 @@
+"""DET004 positive fixture: real concurrency in the substrate."""
+import threading
+import subprocess
+from concurrent.futures import ThreadPoolExecutor
+
+lock = threading.Lock()
+pool = ThreadPoolExecutor()
+proc = subprocess

@@ -1,0 +1,6 @@
+"""DET004 negative fixture: concurrency modelled as simulator events."""
+
+
+def daemon_loop(sim, cycle_s):
+    while True:
+        yield sim.timeout(cycle_s)

@@ -1,0 +1,7 @@
+"""DET005 positive fixture: locale-dependent strftime directives."""
+import datetime
+
+EPOCH = datetime.datetime(2010, 4, 16, 8, 0, 0)
+
+qtime = EPOCH.strftime("%a %b %d %H:%M:%S %Y")
+noon = EPOCH.strftime("%I:%M %p")

@@ -1,0 +1,8 @@
+"""DET005 negative fixture: numeric directives or fixed name tables."""
+import datetime
+
+EPOCH = datetime.datetime(2010, 4, 16, 8, 0, 0)
+
+iso = EPOCH.strftime("%Y-%m-%d %H:%M:%S")
+DAY_ABBR = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+qtime_day = DAY_ABBR[EPOCH.weekday()]

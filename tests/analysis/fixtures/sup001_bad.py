@@ -1,0 +1,4 @@
+"""SUP001 positive fixture: suppression without its justification."""
+import time
+
+start = time.time()  # reprolint: disable=DET001

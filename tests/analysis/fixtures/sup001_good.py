@@ -1,0 +1,4 @@
+"""SUP001 negative fixture: every suppression carries a reason."""
+import time
+
+start = time.time()  # reprolint: disable=DET001 -- host-side bench timer

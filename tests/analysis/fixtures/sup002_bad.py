@@ -1,0 +1,3 @@
+"""SUP002 positive fixture: a suppression that silences nothing."""
+
+value = 1  # reprolint: disable=DET001 -- stale: the clock read was removed

@@ -1,0 +1,5 @@
+"""SUP002 negative fixture: the suppression actually covers a finding."""
+import time
+
+# reprolint: disable=DET001 -- host-side bench timer, outside the simulation
+start = time.time()

@@ -1,0 +1,6 @@
+"""TRC001 positive fixture: emitting a kind missing from the catalogue."""
+
+
+def report(tracer, node):
+    tracer.emit("comm.wrong_kind", node=node)
+    tracer.emit("madeup.thing", cause="nope")

@@ -1,0 +1,7 @@
+"""TRC001 negative fixture: registered kinds and the fault.* prefix."""
+
+
+def report(tracer, node, kind):
+    tracer.emit("comm.report_sent", node=node)
+    tracer.emit("fault.link_cut", node=node)
+    tracer.emit(kind, node=node)  # dynamic: checked at runtime instead

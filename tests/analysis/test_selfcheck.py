@@ -1,0 +1,33 @@
+"""The acceptance gate: the shipped tree lints clean.
+
+``repro-lint src/repro`` exiting 0 with zero findings is part of the
+merge contract (and CI runs it with ``--strict``); this test is the
+same check in pytest form so a violation fails the suite locally before
+CI ever sees it.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_repo_source_lints_clean():
+    report = lint_paths([str(SRC)])
+    assert report.files_checked > 100  # the walk really found the tree
+    assert report.findings == [], "\n" + "\n".join(
+        f.render() for f in report.findings
+    )
+    assert report.ok(strict=True)
+
+
+def test_benchmarks_and_examples_lint_clean():
+    report = lint_paths([
+        str(REPO_ROOT / "benchmarks"), str(REPO_ROOT / "examples"),
+    ])
+    assert report.files_checked > 0
+    assert report.findings == [], "\n" + "\n".join(
+        f.render() for f in report.findings
+    )

@@ -11,7 +11,7 @@ from repro.apps import (
     supported_on,
     windows_only,
 )
-from repro.apps.application import Application, JobProfile, make_job_request
+from repro.apps.application import Application, make_job_request
 from repro.errors import ConfigurationError
 from repro.simkernel.rng import RngStreams
 

@@ -1,6 +1,5 @@
 """MDCS GA workload model tests."""
 
-import pytest
 
 from repro.apps.matlab_mdcs import GaConfig, ga_burst, linux_background
 from repro.simkernel.rng import RngStreams

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import BootError
 from repro.boot.grub import GrubExecutor
-from repro.boot.grubcfg import parse_grub_config
 from tests.conftest import CONTROLMENU_FIG3, MENU_LST_FIG2, make_v1_disk
 
 

@@ -10,7 +10,7 @@ from repro.core.communicator import (
 from repro.core.controller import DualBootMenuSpec
 from repro.core.controller_v2 import ControllerV2
 from repro.core.detector import PbsDetector, WinHpcDetector
-from repro.core.policy import FcfsPolicy, SwitchDecision
+from repro.core.policy import FcfsPolicy
 from repro.core.wire import QueueStateMessage
 from repro.errors import MiddlewareError
 from repro.netsvc import DhcpServer, Network, TftpServer

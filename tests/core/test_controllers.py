@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.boot import Firmware, resolve_boot
+from repro.boot import resolve_boot
 from repro.boot.chain import BootEnvironment
-from repro.boot.grub4dos import GRUB4DOS_ROM, default_menu_path, menu_path_for
+from repro.boot.grub4dos import GRUB4DOS_ROM, menu_path_for
 from repro.core.controller import DualBootMenuSpec, make_dualboot_menu
 from repro.core.controller_v1 import ControllerV1, redirect_menu_lst
 from repro.core.controller_v2 import ControllerV2

@@ -5,7 +5,6 @@ head-node link, or a bricked node must never corrupt scheduling state or
 strand running jobs.
 """
 
-import pytest
 
 from repro.core import MiddlewareConfig, build_hybrid_cluster
 from repro.hardware.node import NodeState

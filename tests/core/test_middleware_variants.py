@@ -1,7 +1,6 @@
 """Middleware variant integrations: per-MAC v2 mode, eager detectors,
 threshold policy, bootcontrol switch method."""
 
-import pytest
 
 from repro.boot.grub4dos import menu_path_for
 from repro.core import MiddlewareConfig, build_hybrid_cluster

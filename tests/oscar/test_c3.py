@@ -4,8 +4,7 @@ import pytest
 
 from repro.core import MiddlewareConfig, build_hybrid_cluster
 from repro.errors import MiddlewareError
-from repro.oscar.c3 import C3Tools, _run_sync
-from repro.simkernel import MINUTE
+from repro.oscar.c3 import C3Tools
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DeploymentError, StorageError
-from repro.hardware import ComputeNode, INTEL_Q8200, build_cluster
+from repro.hardware import ComputeNode, INTEL_Q8200
 from repro.hardware.nic import Nic, mac_for_index
 from repro.metrics.effort import AdminEffortLedger
 from repro.oslayer.windows import WindowsOS
