@@ -1,0 +1,19 @@
+"""E10 — 64→1024-node scale sweep (the PR's acceptance run).
+
+The headline assertions are the scale-path acceptance criteria: the
+1024-node leg must push 10k+ jobs through a 24-simulated-hour horizon in
+under a minute of wall time, with every trace invariant holding.
+"""
+
+from repro.experiments.e10_scale import run
+
+
+def test_bench_e10_scale(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["max_nodes"] == 1024
+    assert h["largest_run_jobs"] >= 10_000
+    assert h["largest_run_under_60s"]
+    assert h["every_size_completed_jobs"]
+    assert h["trace_invariants_ok"]

@@ -7,15 +7,18 @@ optimisation workflow: measure, don't guess):
 * raw event throughput of the DES kernel,
 * full boot-chain resolution (PXE → GRUB4DOS → local disk),
 * detector text-parse over a 16-node ``qstat -f`` listing,
+* cold vs epoch-cached detector checks over a busy 1024-node cluster,
 * utilisation integration over a large job-record set (NumPy path).
 """
+
+import time
 
 import numpy as np
 
 from repro.boot import Firmware, resolve_boot
 from repro.boot.chain import BootEnvironment
 from repro.boot.grub4dos import GRUB4DOS_ROM, default_menu_path
-from repro.core.detector import parse_qstat_full
+from repro.core.detector import PbsDetector, parse_qstat_full
 from repro.metrics.recorder import JobRecord
 from repro.metrics.utilization import utilization_timeline
 from repro.netsvc import DhcpServer, TftpServer
@@ -66,6 +69,71 @@ def test_bench_detector_parse(benchmark):
 
     jobs = benchmark(parse_qstat_full, text)
     assert len(jobs) == 16
+
+
+def _busy_pbs_cluster(num_nodes=1024, queued=512):
+    """A full 1024-node cluster with a deep backlog: every node runs a
+    4-core job and *queued* more wait behind them — the worst realistic
+    input for one detector check."""
+    sim = Simulator()
+    server = PbsServer(sim)
+    for i in range(1, num_nodes + 1):
+        server.create_node(f"enode{i:04d}", np=4)
+        server.node_up(f"enode{i:04d}")
+    for i in range(num_nodes + queued):
+        server.qsub(JobSpec(name=f"job{i}", ppn=4, runtime_s=100_000.0))
+    commands = PbsCommands(server)
+    return server, commands, PbsDetector(commands)
+
+
+def test_bench_detector_check_cold_1024(benchmark):
+    _, commands, detector = _busy_pbs_cluster()
+
+    def cold_check():
+        # drop both cache layers so every round renders + parses anew
+        detector.invalidate()
+        commands.invalidate_cache()
+        return detector.check()
+
+    report = benchmark(cold_check)
+    assert report.running == 1024
+    assert report.queued == 512
+
+
+def test_bench_detector_check_cached_1024(benchmark):
+    _, _, detector = _busy_pbs_cluster()
+    detector.check()  # warm the epoch cache
+
+    report = benchmark(detector.check)
+    assert report.running == 1024
+    assert report.queued == 512
+
+
+def test_cached_detector_speedup_floor():
+    """The acceptance gate: an epoch-cache hit must be at least 5x faster
+    than a cold render+parse at 1024 nodes (in practice it is orders of
+    magnitude faster; 5x keeps the gate robust on noisy CI hosts)."""
+    _, commands, detector = _busy_pbs_cluster()
+
+    cold_rounds, warm_rounds = 5, 500
+    start = time.perf_counter()  # reprolint: disable=DET001 -- benchmark gate; wall time never enters a simulation
+    for _ in range(cold_rounds):
+        detector.invalidate()
+        commands.invalidate_cache()
+        detector.check()
+    cold_s = (time.perf_counter() - start) / cold_rounds  # reprolint: disable=DET001 -- benchmark gate; wall time never enters a simulation
+
+    detector.check()  # warm
+    start = time.perf_counter()  # reprolint: disable=DET001 -- benchmark gate; wall time never enters a simulation
+    for _ in range(warm_rounds):
+        detector.check()
+    warm_s = (time.perf_counter() - start) / warm_rounds  # reprolint: disable=DET001 -- benchmark gate; wall time never enters a simulation
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= 5.0, (
+        f"epoch cache hit only {speedup:.1f}x faster than cold "
+        f"(cold {cold_s * 1e6:.0f}us, warm {warm_s * 1e6:.0f}us)"
+    )
 
 
 def test_bench_utilization_timeline(benchmark):

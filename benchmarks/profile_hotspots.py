@@ -1,0 +1,85 @@
+"""Deterministic cProfile harness for the scale path.
+
+Runs one E10-style hybrid-v2 scenario (fixed seed, size-proportional
+mixed workload) under cProfile and prints the top functions.  The
+workload and therefore the *call counts* are bit-reproducible; only the
+time columns vary between hosts.  Rows are sorted by (cumulative time,
+internal time, name) with the name as the final tiebreak, so the
+ordering is stable when timings tie.
+
+Not collected by pytest (the filename does not match ``bench_*.py`` /
+``test_*.py``); run it by hand when a bench baseline regresses::
+
+    PYTHONPATH=src python benchmarks/profile_hotspots.py --nodes 256
+    PYTHONPATH=src python benchmarks/profile_hotspots.py \
+        --nodes 1024 --hours 24 --top 40 --sort tottime
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+from repro.compare import HybridSystem, run_scenario
+from repro.core.config import MiddlewareConfig
+from repro.experiments.e10_scale import _workload
+from repro.simkernel import HOUR, MINUTE
+
+
+def build_scenario(num_nodes: int, hours: float, seed: int):
+    horizon_s = hours * HOUR
+    jobs = _workload(num_nodes, seed, horizon_s)
+    system = HybridSystem(
+        num_nodes=num_nodes, seed=seed, version=2,
+        config=MiddlewareConfig(version=2, check_cycle_s=10 * MINUTE),
+    )
+    return system, jobs, horizon_s
+
+
+def profile_run(num_nodes: int, hours: float, seed: int) -> cProfile.Profile:
+    system, jobs, horizon_s = build_scenario(num_nodes, hours, seed)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_scenario(system, jobs, horizon_s)
+    profiler.disable()
+    print(
+        f"nodes={num_nodes} horizon={hours:g}h seed={seed}: "
+        f"{result.submitted} submitted, {result.completed} completed, "
+        f"{result.switches} switches, "
+        f"{system.sim.events_executed} events, "
+        f"{system.sim.compactions} heap compactions"
+    )
+    return profiler
+
+
+def print_stats(profiler: cProfile.Profile, top: int, sort: str) -> None:
+    stats = pstats.Stats(profiler)
+    # (file, line, func) -> (callcount, ncalls, tottime, cumtime, callers)
+    if sort == "cumtime":
+        key = lambda item: (-item[1][3], -item[1][2], item[0])  # noqa: E731
+    else:
+        key = lambda item: (-item[1][2], -item[1][3], item[0])  # noqa: E731
+    rows = sorted(stats.stats.items(), key=key)[:top]
+    print(f"{'ncalls':>10} {'tottime':>9} {'cumtime':>9}  function")
+    for (filename, line, func), (_, ncalls, tottime, cumtime, _) in rows:
+        where = f"{filename}:{line}({func})"
+        print(f"{ncalls:>10} {tottime:>9.3f} {cumtime:>9.3f}  {where}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=256)
+    parser.add_argument("--hours", type=float, default=6.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--top", type=int, default=25)
+    parser.add_argument(
+        "--sort", choices=("cumtime", "tottime"), default="cumtime"
+    )
+    args = parser.parse_args(argv)
+    profiler = profile_run(args.nodes, args.hours, args.seed)
+    print_stats(profiler, args.top, args.sort)
+
+
+if __name__ == "__main__":
+    main()

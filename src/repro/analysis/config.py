@@ -132,6 +132,16 @@ def default_config() -> LintConfig:
         # Suppression-comment hygiene is not scopeable: always an error.
         "SUP001": RulePolicy(default=error),
         "SUP002": RulePolicy(default=error),
+        # Hot-path sorted() scans: error only in the modules the scale
+        # path indexed (docs/PERFORMANCE.md); elsewhere a sort is not
+        # per-cycle work and stays unguarded.
+        "PERF001": RulePolicy(
+            default=Severity.OFF,
+            overrides={
+                "repro.pbs.scheduler": error,
+                "repro.core.detector": error,
+            },
+        ),
     }
     return LintConfig(policies=policies)
 

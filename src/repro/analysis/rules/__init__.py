@@ -9,5 +9,6 @@ from repro.analysis.rules import (  # noqa: F401  (side effect: registration)
     determinism,
     hygiene,
     ordering,
+    perf,
     tracing,
 )

@@ -1,0 +1,65 @@
+"""Performance rules: keep known hot paths free of re-introduced scans.
+
+The scale path (docs/PERFORMANCE.md) replaced per-cycle ``sorted(...)``
+scans over the node/job tables with persistent indexes; PERF001 guards
+against those scans creeping back.  A ``sorted(`` call in a guarded
+module must carry an explicit ``# perf: cold-path`` justification — on
+the call line or the line above — stating why it is off the per-cycle
+path (reference implementations, O(active) result ordering, one-shot
+setup).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, RuleContext, register
+from repro.analysis.rules._ast_util import is_name_call, walk_calls
+
+#: The comment marker that justifies a sort in a guarded module.
+COLD_PATH_MARKER = "# perf: cold-path"
+
+
+def _justified(ctx: RuleContext, node: ast.Call) -> bool:
+    """True when the call line or the line above carries the marker."""
+    for lineno in (node.lineno, node.lineno - 1):
+        if 1 <= lineno <= len(ctx.lines):
+            if COLD_PATH_MARKER in ctx.lines[lineno - 1]:
+                return True
+    return False
+
+
+@register
+class HotPathSortRule(Rule):
+    """PERF001: unjustified ``sorted()`` in an indexed hot-path module."""
+
+    id = "PERF001"
+    summary = (
+        "sorted() in a hot-path module without a '# perf: cold-path' "
+        "justification"
+    )
+    rationale = (
+        "repro.pbs.scheduler and repro.core.detector sit on the "
+        "per-control-cycle path at every cluster size; the 1024-node "
+        "scale work (E10) replaced their sorted()-scans with persistent "
+        "indexes and epoch caches.  Any sort added back must either move "
+        "off the hot path or carry a '# perf: cold-path' comment saying "
+        "why a scan is acceptable there (e.g. the reference "
+        "implementations the property tests compare against)."
+    )
+    default_severity = Severity.OFF
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in walk_calls(ctx.tree):
+            if not is_name_call(node, "sorted"):
+                continue
+            if _justified(ctx, node):
+                continue
+            yield self.finding(
+                ctx, node,
+                "sorted() on a guarded hot path — use the persistent "
+                "index, or justify with a '# perf: cold-path' comment "
+                "on this line or the line above",
+            )

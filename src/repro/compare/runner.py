@@ -69,10 +69,10 @@ def run_scenario(
     if drain:
         deadline = start + horizon_s + drain_limit_s
         while system.sim.now < deadline:
-            outstanding = [
-                r for r in system.recorder.workload_jobs() if not r.completed
-            ]
-            if not outstanding:
+            # O(1) counter on the recorder — this loop runs once per
+            # remaining simulation event, so rescanning every job record
+            # here made draining quadratic in the workload size.
+            if system.recorder.outstanding_workload() == 0:
                 break
             next_event = system.sim.peek()
             if next_event is None or next_event > deadline:

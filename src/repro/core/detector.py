@@ -108,9 +108,30 @@ class PbsDetector:
         self.eager = eager
         self.tracer = tracer
         self.node_name = node_name
+        #: (mutation epoch, report) of the last check — an unchanged epoch
+        #: means byte-identical qstat text, hence an identical report.
+        self._cache: Optional[Tuple[int, DetectorReport]] = None
+
+    def invalidate(self) -> None:
+        """Drop the cached report (benchmarks use this to time cold checks)."""
+        self._cache = None
 
     def check(self) -> DetectorReport:
-        """One detector run over the current ``qstat -f`` output."""
+        """One detector run over the current ``qstat -f`` output.
+
+        Reports are cached keyed on the server's mutation epoch: an idle
+        control cycle (no submit/start/finish/node change since the last
+        check) re-serves the parsed report in O(1) instead of re-rendering
+        and re-regex-parsing the whole listing.  The ``detector.check``
+        trace event is still emitted on every call — caching must not
+        change the observable trace.
+        """
+        epoch = self.commands.server.mutation_epoch
+        cached = self._cache
+        if cached is not None and cached[0] == epoch:
+            report = cached[1]
+            _trace_check(self, "linux", report)
+            return report
         jobs = parse_qstat_full(self.commands.qstat_f())
         workload = [j for j in jobs if j.get("Job_Name") != SWITCH_JOB_NAME]
         running = [j for j in workload if j.get("job_state") == "R"]
@@ -132,6 +153,7 @@ class PbsDetector:
                 for j in running
             ],
         )
+        self._cache = (epoch, report)
         _trace_check(self, "linux", report)
         return report
 
@@ -156,8 +178,25 @@ class WinHpcDetector:
         self.eager = eager
         self.tracer = tracer
         self.node_name = node_name
+        #: (mutation epoch, report) of the last check — see PbsDetector.
+        self._cache: Optional[Tuple[int, DetectorReport]] = None
+
+    def invalidate(self) -> None:
+        """Drop the cached report (benchmarks use this to time cold checks)."""
+        self._cache = None
 
     def check(self) -> DetectorReport:
+        """One detector run over the SDK's job lists.
+
+        Epoch-cached like :meth:`PbsDetector.check`; the trace event is
+        emitted on every call either way.
+        """
+        epoch = self.connection.mutation_epoch
+        cached = self._cache
+        if cached is not None and cached[0] == epoch:
+            report = cached[1]
+            _trace_check(self, "windows", report)
+            return report
         running = [
             j
             for j in self.connection.get_job_list(WinJobState.RUNNING)
@@ -173,11 +212,9 @@ class WinHpcDetector:
             head = queued[0]
             cores = head.amount
             if head.unit is WinJobUnit.NODE:
-                node_cores = max(
-                    (r.cores for r in self.connection.get_node_list()),
-                    default=1,
-                )
-                cores = head.amount * node_cores
+                # Epoch-cached on the connection — historically this
+                # walked the whole node table on every check.
+                cores = head.amount * self.connection.max_node_cores()
             first = (str(head.job_id), cores)
         report = _build_report(
             running=len(running),
@@ -186,6 +223,7 @@ class WinHpcDetector:
             running_detail=[f"{j.job_id} {j.name} Running" for j in running],
             eager=self.eager,
         )
+        self._cache = (epoch, report)
         _trace_check(self, "windows", report)
         return report
 

@@ -95,4 +95,5 @@ ALL_EXPERIMENTS = {
     "e7": "repro.experiments.e7_policy",
     "e8": "repro.experiments.e8_resilience",
     "e9": "repro.experiments.e9_chaos",
+    "e10": "repro.experiments.e10_scale",
 }

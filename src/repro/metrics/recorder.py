@@ -69,6 +69,9 @@ class ClusterRecorder:
         self.jobs: List[JobRecord] = []
         self._job_index: Dict[str, JobRecord] = {}
         self.switch_count = 0
+        #: workload (non-switch) jobs submitted but not yet finished —
+        #: maintained incrementally so drain loops don't rescan self.jobs
+        self._outstanding_workload = 0
 
     # -- node occupancy -----------------------------------------------------
 
@@ -112,11 +115,15 @@ class ClusterRecorder:
             )
             self._job_index[key] = record
             self.jobs.append(record)
+            if record.tag != "os-switch":
+                self._outstanding_workload += 1
         elif key in self._job_index:
             record = self._job_index[key]
             if event == "started":
                 record.start_time = job.start_time
             elif event == "finished":
+                if record.end_time is None and record.tag != "os-switch":
+                    self._outstanding_workload -= 1
                 record.end_time = job.end_time
                 record.final_state = job.state.value
 
@@ -130,12 +137,16 @@ class ClusterRecorder:
             )
             self._job_index[key] = record
             self.jobs.append(record)
+            if record.tag != "os-switch":
+                self._outstanding_workload += 1
         elif key in self._job_index:
             record = self._job_index[key]
             if event == "started":
                 record.start_time = job.start_time
                 record.cores = job.total_allocated_cores()
             elif event == "finished":
+                if record.end_time is None and record.tag != "os-switch":
+                    self._outstanding_workload -= 1
                 record.end_time = job.end_time
                 record.final_state = job.state.value
 
@@ -159,3 +170,12 @@ class ClusterRecorder:
 
     def workload_jobs(self, exclude_tag: str = "os-switch") -> List[JobRecord]:
         return [j for j in self.jobs if not exclude_tag or j.tag != exclude_tag]
+
+    def outstanding_workload(self) -> int:
+        """Submitted-but-unfinished workload (non-switch) job count.
+
+        O(1): equivalent to ``len([j for j in workload_jobs() if not
+        j.completed])`` without the scan — scenario drain loops call this
+        once per simulation event.
+        """
+        return self._outstanding_workload

@@ -130,9 +130,12 @@ def render_qstat_full(
     server: PbsServer, include_completed: bool = False
 ) -> str:
     """Full ``qstat -f`` output (running first, then queued, by jobid)."""
-    jobs = sorted(server.jobs.values(), key=lambda j: j.seq_number)
-    if not include_completed:
-        jobs = [j for j in jobs if j.state is not JobState.COMPLETED]
+    if include_completed:
+        jobs = sorted(server.jobs.values(), key=lambda j: j.seq_number)
+    else:
+        # O(active): the jobs dict keeps every job ever submitted, and
+        # scanning it each detector cycle dominated large runs.
+        jobs = server.active_jobs_by_seq()
     return "\n\n".join(
         render_qstat_full_entry(job, server.server_name) for job in jobs
     ) + ("\n" if jobs else "")

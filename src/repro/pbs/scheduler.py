@@ -11,6 +11,7 @@ other operating system.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Dict, List, Optional, Tuple
 
 from repro.pbs.job import PbsJob
@@ -26,10 +27,14 @@ def allocate_fifo(
     fit.  Candidate nodes are scanned from the **highest** hostname down —
     TORQUE's nodes-file order, visible in Figure 8 where a 1-node job
     lands on ``node16``.
+
+    This is the *reference* implementation: :class:`NodeIndex` below is
+    the O(buckets) hot path the server actually uses, and the property
+    tests in ``tests/pbs/test_scheduler_index.py`` hold the two equal.
     """
     candidates = [
         record
-        for _, record in sorted(nodes.items(), reverse=True)
+        for _, record in sorted(nodes.items(), reverse=True)  # perf: cold-path reference
         if record.state not in (PbsNodeState.DOWN, PbsNodeState.OFFLINE)
         and record.available_cores >= job.ppn
     ]
@@ -45,6 +50,9 @@ def schedulable_backlog(
 
     Placement is simulated against a scratch copy of core availability so
     the prefix is consistent (job 2 cannot reuse cores job 1 would take).
+
+    Reference implementation — see :meth:`NodeIndex.schedulable_backlog`
+    for the indexed hot path.
     """
     free = {
         name: record.available_cores
@@ -55,7 +63,7 @@ def schedulable_backlog(
     for job in queued:
         hosts = [
             name
-            for name, cores in sorted(free.items(), reverse=True)
+            for name, cores in sorted(free.items(), reverse=True)  # perf: cold-path reference
             if cores >= job.ppn
         ]
         if len(hosts) < job.nodes:
@@ -64,3 +72,115 @@ def schedulable_backlog(
             free[name] -= job.ppn
         runnable.append(job)
     return runnable
+
+
+class NodeIndex:
+    """Persistent free-core buckets over the node table.
+
+    The reference allocator above re-sorts the whole node table on every
+    call; at 1024 nodes that sort dominates the simulation.  The index
+    keeps, for each distinct ``available_cores`` value, the hostnames at
+    that level in an **ascending** sorted list (walked backwards to get
+    TORQUE's highest-hostname-first order).  A node moves buckets only
+    when its availability changes (:meth:`reindex`), so an allocation
+    touches O(job.nodes × buckets) entries instead of O(nodes log nodes).
+
+    Equivalence with the reference filter: a job needs ``ppn >= 1`` cores
+    per node, and DOWN/OFFLINE nodes report ``available_cores == 0``, so
+    the explicit state check in the reference is subsumed by the
+    ``available_cores >= ppn`` bucket cut — the index never has to look
+    at node state at all.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[str, PbsNodeRecord] = {}
+        #: hostname -> the available_cores value it is bucketed under
+        self._avail: Dict[str, int] = {}
+        #: available_cores -> ascending hostnames at that level
+        self._buckets: Dict[int, List[str]] = {}
+
+    def add(self, record: PbsNodeRecord) -> None:
+        """Register a new node (its current availability is indexed)."""
+        host = record.hostname
+        self._records[host] = record
+        cores = record.available_cores
+        self._avail[host] = cores
+        insort(self._buckets.setdefault(cores, []), host)
+
+    def reindex(self, record: PbsNodeRecord) -> None:
+        """Move *record* to the bucket matching its current availability.
+
+        Must be called after every mutation that can change
+        ``available_cores`` (allocate/release/mark_up/mark_down).
+        """
+        host = record.hostname
+        old = self._avail[host]
+        new = record.available_cores
+        if old == new:
+            return
+        bucket = self._buckets[old]
+        del bucket[bisect_left(bucket, host)]
+        if not bucket:
+            del self._buckets[old]
+        self._avail[host] = new
+        insort(self._buckets.setdefault(new, []), host)
+
+    def free_cores(self) -> int:
+        """Total available cores (DOWN/OFFLINE nodes sit in bucket 0)."""
+        return sum(cores * len(hosts) for cores, hosts in self._buckets.items())
+
+    @staticmethod
+    def _select_desc(
+        buckets: Dict[int, List[str]], ppn: int, count: int
+    ) -> Optional[List[str]]:
+        """Top *count* qualifying hostnames in descending order, or None.
+
+        A k-way backwards merge over the (few) buckets whose core level
+        satisfies *ppn* — identical order to the reference's
+        ``sorted(..., reverse=True)`` scan restricted to qualifying hosts.
+        """
+        eligible = [hosts for cores, hosts in buckets.items() if cores >= ppn]
+        if sum(len(hosts) for hosts in eligible) < count:
+            return None
+        ptrs = [len(hosts) - 1 for hosts in eligible]
+        out: List[str] = []
+        while len(out) < count:
+            best = -1
+            best_host = ""
+            for i, hosts in enumerate(eligible):
+                p = ptrs[i]
+                if p >= 0 and hosts[p] > best_host:
+                    best = i
+                    best_host = hosts[p]
+            ptrs[best] -= 1
+            out.append(best_host)
+        return out
+
+    def allocate_fifo(
+        self, job: PbsJob
+    ) -> Optional[List[Tuple[PbsNodeRecord, int]]]:
+        """Indexed equivalent of module-level :func:`allocate_fifo`."""
+        hosts = self._select_desc(self._buckets, job.ppn, job.nodes)
+        if hosts is None:
+            return None
+        return [(self._records[host], job.ppn) for host in hosts]
+
+    def schedulable_backlog(self, queued: List[PbsJob]) -> List[PbsJob]:
+        """Indexed equivalent of module-level :func:`schedulable_backlog`."""
+        avail = dict(self._avail)
+        buckets = {cores: list(hosts) for cores, hosts in self._buckets.items()}
+        runnable: List[PbsJob] = []
+        for job in queued:
+            hosts = self._select_desc(buckets, job.ppn, job.nodes)
+            if hosts is None:
+                break  # strict FCFS: head-of-line blocking
+            for host in hosts:
+                old = avail[host]
+                bucket = buckets[old]
+                del bucket[bisect_left(bucket, host)]
+                if not bucket:
+                    del buckets[old]
+                avail[host] = old - job.ppn
+                insort(buckets.setdefault(avail[host], []), host)
+            runnable.append(job)
+        return runnable

@@ -20,7 +20,7 @@ from repro.errors import SchedulerError
 from repro.oslayer.shell import run_script
 from repro.pbs.job import JobState, PbsJob
 from repro.pbs.nodes import PbsNodeRecord, PbsNodeState
-from repro.pbs.scheduler import allocate_fifo
+from repro.pbs.scheduler import NodeIndex
 from repro.pbs.script import parse_pbs_script
 from repro.simkernel import Interrupt, Simulator, Timeout
 
@@ -53,6 +53,16 @@ class PbsServer:
         self.nodes: Dict[str, PbsNodeRecord] = {}
         self.jobs: Dict[str, PbsJob] = {}
         self.queue_order: List[str] = []
+        #: Monotonic counter bumped on every externally visible mutation
+        #: (submit/hold/release/start/finish/node state change).  Renders
+        #: and detector reports are cached keyed on this epoch: an
+        #: unchanged epoch guarantees byte-identical qstat/pbsnodes-state
+        #: output, so idle control cycles cost O(1).
+        self.mutation_epoch: int = 0
+        self._index = NodeIndex()
+        #: jobs currently RUNNING (state bucket; avoids scanning self.jobs)
+        self._running: Dict[str, PbsJob] = {}
+        self._max_np: int = 0
         self._moms: Dict[str, MomHandle] = {}
         self._runners: Dict[str, object] = {}  # jobid -> Process
         self._seq = first_jobid
@@ -78,6 +88,10 @@ class PbsServer:
         if properties:
             record.properties = list(properties)
         self.nodes[fqdn] = record
+        self._index.add(record)
+        if np > self._max_np:
+            self._max_np = np
+        self.mutation_epoch += 1
         return record
 
     def node(self, hostname: str) -> PbsNodeRecord:
@@ -91,6 +105,8 @@ class PbsServer:
         """A pbs_mom reported in: the node joins the free pool."""
         record = self.node(hostname)
         record.mark_up(self.sim.now)
+        self._index.reindex(record)
+        self.mutation_epoch += 1
         if os_instance is not None:
             self._moms[record.hostname] = MomHandle(record.hostname, os_instance)
         for observer in self.node_observers:
@@ -102,6 +118,8 @@ class PbsServer:
         record = self.node(hostname)
         victims = record.jobs_here()
         record.mark_down(self.sim.now)
+        self._index.reindex(record)
+        self.mutation_epoch += 1
         self._moms.pop(record.hostname, None)
         for observer in self.node_observers:
             observer("down", hostname)
@@ -123,10 +141,9 @@ class PbsServer:
             raise SchedulerError(
                 f"bad resource request nodes={spec.nodes} ppn={spec.ppn}"
             )
-        max_np = max((r.np for r in self.nodes.values()), default=0)
-        if spec.ppn > max_np:
+        if spec.ppn > self._max_np:
             raise SchedulerError(
-                f"ppn={spec.ppn} exceeds the largest node ({max_np} cores)"
+                f"ppn={spec.ppn} exceeds the largest node ({self._max_np} cores)"
             )
         jobid = f"{self._seq}.{self.server_name}"
         self._seq += 1
@@ -149,6 +166,7 @@ class PbsServer:
         )
         self.jobs[jobid] = job
         self.queue_order.append(jobid)
+        self.mutation_epoch += 1
         self._notify("submitted", job)
         self._try_schedule()
         return jobid
@@ -163,6 +181,7 @@ class PbsServer:
                 f"(state {job.state.value})"
             )
         job.state = JobState.HELD
+        self.mutation_epoch += 1
 
     def qrls(self, jobid: str) -> None:
         """Release a held job back into the queue (TORQUE ``qrls``)."""
@@ -170,6 +189,7 @@ class PbsServer:
         if job.state is not JobState.HELD:
             raise SchedulerError(f"{jobid} is not held")
         job.state = JobState.QUEUED
+        self.mutation_epoch += 1
         self._try_schedule()
 
     def qdel(self, jobid: str) -> None:
@@ -198,15 +218,28 @@ class PbsServer:
         return [self.jobs[j] for j in self.queue_order]
 
     def running_jobs(self) -> List[PbsJob]:
-        return [
-            j for j in self.jobs.values() if j.state in (JobState.RUNNING, JobState.EXITING)
-        ]
+        # The _running bucket is keyed by start order; held jobs released
+        # late can start out of submission order, so sort by sequence
+        # number to match the historical jobs-dict scan.
+        return sorted(self._running.values(), key=lambda j: j.seq_number)
 
     def active_jobs(self) -> List[PbsJob]:
         return self.queued_jobs() + self.running_jobs()
 
+    def active_jobs_by_seq(self) -> List[PbsJob]:
+        """All non-completed jobs in submission (sequence-number) order.
+
+        Used by the qstat renderer: equivalent to scanning ``self.jobs``
+        and filtering out COMPLETED, but O(active) instead of O(all jobs
+        ever submitted).
+        """
+        active = [self.jobs[jobid] for jobid in self.queue_order]
+        active.extend(self._running.values())
+        active.sort(key=lambda j: j.seq_number)
+        return active
+
     def free_cores(self) -> int:
-        return sum(r.available_cores for r in self.nodes.values())
+        return self._index.free_cores()
 
     def up_nodes(self) -> List[PbsNodeRecord]:
         return [
@@ -225,7 +258,7 @@ class PbsServer:
                 job = self.jobs[jobid]
                 if job.state is JobState.HELD:
                     continue  # held jobs keep their place but do not block
-                placement = allocate_fifo(job, self.nodes)
+                placement = self._place(job)
                 if placement is None:
                     return  # strict FCFS head-of-line blocking
                 self.queue_order.remove(jobid)
@@ -233,13 +266,25 @@ class PbsServer:
                 started = True
                 break
 
+    def _place(self, job: PbsJob):
+        """Find a placement for *job* (indexed; see NodeIndex).
+
+        Kept as a seam: the equivalence tests monkeypatch this back to the
+        reference ``allocate_fifo(job, self.nodes)`` scan to prove the
+        index changes nothing.
+        """
+        return self._index.allocate_fifo(job)
+
     def _start(self, job: PbsJob, placement) -> None:
         job.state = JobState.RUNNING
         job.start_time = self.sim.now
         for record, count in placement:
             cores = record.allocate(job.jobid, count)
+            self._index.reindex(record)
             for core in cores:
                 job.exec_slots.append((record.hostname, core))
+        self._running[job.jobid] = job
+        self.mutation_epoch += 1
         self._runners[job.jobid] = self.sim.spawn(
             self._run(job), name=f"pbsjob:{job.jobid}"
         )
@@ -293,8 +338,15 @@ class PbsServer:
         job.state = JobState.COMPLETED
         job.end_time = self.sim.now
         job.exit_status = exit_status
-        for record in self.nodes.values():
+        # Release only the nodes the job actually ran on (exec_slots holds
+        # one entry per core) — the historical all-nodes sweep made every
+        # job completion O(cluster size).
+        for host in dict.fromkeys(host for host, _ in job.exec_slots):
+            record = self.nodes[host]
             record.release(job.jobid)
+            self._index.reindex(record)
+        self._running.pop(job.jobid, None)
+        self.mutation_epoch += 1
         self._runners.pop(job.jobid, None)
         if job.on_complete is not None:
             job.on_complete(job)

@@ -12,6 +12,7 @@ import heapq
 from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
 
 from repro.simkernel.events import Event
+from repro.trace.events import callback_name
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.simkernel.process import Process
@@ -19,6 +20,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (negative delays, running a dead kernel)."""
+
+
+#: Below this many dead entries compaction is never worth the heapify cost.
+_COMPACT_FLOOR = 64
 
 
 class _Entry:
@@ -63,6 +68,8 @@ class Simulator:
         self._now: float = 0.0
         self._queue: List[_Entry] = []
         self._seq: int = 0
+        self._dead: int = 0
+        self._compactions: int = 0
         self._processes_started: int = 0
         self._events_executed: int = 0
         #: Optional :class:`repro.trace.Tracer`.  Kernel-level events are
@@ -81,6 +88,16 @@ class Simulator:
     def events_executed(self) -> int:
         """Number of queue entries executed so far (diagnostics)."""
         return self._events_executed
+
+    @property
+    def dead_entries(self) -> int:
+        """Cancelled entries still occupying heap slots (diagnostics)."""
+        return self._dead
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed so far (diagnostics)."""
+        return self._compactions
 
     # -- scheduling ------------------------------------------------------------
 
@@ -105,10 +122,35 @@ class Simulator:
         heapq.heappush(self._queue, entry)
         return entry
 
-    @staticmethod
-    def cancel(entry: _Entry) -> None:
-        """Revoke a scheduled callback (no-op if it already ran)."""
-        entry.alive = False
+    def cancel(self, entry: _Entry) -> None:
+        """Revoke a scheduled callback (no-op if it already ran).
+
+        Cancellation is lazy: the entry stays in the heap with its ``alive``
+        flag cleared and is skipped when it surfaces.  The kernel counts
+        dead entries and compacts the heap once they outnumber the live
+        ones, so long runs with heavy cancellation (walltime guards that
+        almost never fire, interrupted waits) keep the heap — and every
+        subsequent push/pop — proportional to the *live* event count.
+        """
+        if entry.alive:
+            entry.alive = False
+            self._dead += 1
+            if self._dead > _COMPACT_FLOOR and self._dead * 2 > len(self._queue):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify, preserving list identity.
+
+        ``heapify`` over the surviving entries is deterministic because
+        ``(time, seq)`` is a strict total order — no two entries compare
+        equal, so the resulting pop order is the same regardless of the
+        heap's internal layout.  The slice assignment keeps ``self._queue``
+        the same list object: the run loops hold a local alias to it.
+        """
+        self._queue[:] = [e for e in self._queue if e.alive]
+        heapq.heapify(self._queue)
+        self._dead = 0
+        self._compactions += 1
 
     # -- events & processes ------------------------------------------------
 
@@ -142,19 +184,45 @@ class Simulator:
 
     # -- execution ---------------------------------------------------------
 
+    def _fire(self, entry: _Entry) -> None:
+        """Advance the clock to *entry* and execute it (must be alive)."""
+        self._now = entry.time
+        self._events_executed += 1
+        # An executed entry is marked dead so a late cancel() of its handle
+        # (e.g. a walltime guard cancelled after it fired) stays a no-op in
+        # the dead-entry accounting.
+        entry.alive = False
+        tracer = self.tracer
+        if tracer is not None and tracer.kernel_events:
+            tracer.emit("kernel.fire", callback=callback_name(entry.fn))
+        entry.fn(*entry.args)
+
+    def _drop_dead_head(self) -> Optional[_Entry]:
+        """Pop dead entries off the heap head; return the live head or None.
+
+        The head stays *on* the queue — callers that consume it must pop it
+        themselves.  This is the single place ``peek``/``run(until=)`` shed
+        cancelled entries, so the dead-entry count stays exact.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            if queue[0].alive:
+                return queue[0]
+            pop(queue)
+            self._dead -= 1
+        return None
+
     def step(self) -> bool:
         """Execute the next live queue entry.  Returns ``False`` when empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            entry = pop(queue)
             if not entry.alive:
+                self._dead -= 1
                 continue
-            self._now = entry.time
-            self._events_executed += 1
-            tracer = self.tracer
-            if tracer is not None and tracer.kernel_events:
-                from repro.trace.events import callback_name
-                tracer.emit("kernel.fire", callback=callback_name(entry.fn))
-            entry.fn(*entry.args)
+            self._fire(entry)
             return True
         return False
 
@@ -166,26 +234,32 @@ class Simulator:
         behave like a progressing wall clock.
         """
         if until is None:
-            while self.step():
-                pass
+            # Drain loop: the hot path of every experiment.  The queue alias
+            # stays valid across callbacks because _compact() rewrites the
+            # list in place.
+            queue = self._queue
+            pop = heapq.heappop
+            while queue:
+                entry = pop(queue)
+                if not entry.alive:
+                    self._dead -= 1
+                    continue
+                self._fire(entry)
             return
         if until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            head = self._queue[0]
-            if not head.alive:
-                heapq.heappop(self._queue)
-                continue
-            if head.time > until:
+        while True:
+            head = self._drop_dead_head()
+            if head is None or head.time > until:
                 break
-            self.step()
+            heapq.heappop(self._queue)
+            self._fire(head)
         self._now = until
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and not self._queue[0].alive:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        head = self._drop_dead_head()
+        return head.time if head is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

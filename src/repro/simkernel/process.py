@@ -148,7 +148,9 @@ class Process:
     def _detach_current_wait(self) -> None:
         """Disarm whatever the process is currently waiting on."""
         if self._pending_entry is not None:
-            self._pending_entry.alive = False
+            # Through sim.cancel (not a raw alive=False) so the kernel's
+            # dead-entry accounting sees the cancellation.
+            self.sim.cancel(self._pending_entry)
             self._pending_entry = None
         self._waiting_on_event = None
 

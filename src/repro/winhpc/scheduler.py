@@ -26,6 +26,13 @@ class WinHpcScheduler:
         self.nodes: Dict[str, WinNodeRecord] = {}
         self.jobs: Dict[int, WinHpcJob] = {}
         self.queue_order: List[int] = []
+        #: Monotonic counter bumped on every externally visible mutation —
+        #: same contract as ``PbsServer.mutation_epoch``; the SDK facade
+        #: and the Windows detector cache on it.
+        self.mutation_epoch: int = 0
+        #: jobs currently RUNNING (state bucket; avoids scanning self.jobs)
+        self._running: Dict[int, WinHpcJob] = {}
+        self._total_cores: int = 0
         self._node_os: Dict[str, object] = {}
         self._runners: Dict[int, object] = {}
         self._seq = 1
@@ -42,6 +49,8 @@ class WinHpcScheduler:
         if template:
             record.template = template
         self.nodes[hostname] = record
+        self._total_cores += cores
+        self.mutation_epoch += 1
         return record
 
     def node(self, hostname: str) -> WinNodeRecord:
@@ -53,6 +62,7 @@ class WinHpcScheduler:
     def node_online(self, hostname: str, os_instance: object = None) -> None:
         record = self.node(hostname)
         record.mark_online()
+        self.mutation_epoch += 1
         if os_instance is not None:
             self._node_os[hostname] = os_instance
         for observer in self.node_observers:
@@ -63,6 +73,7 @@ class WinHpcScheduler:
         record = self.node(hostname)
         victims = list(record.allocations)
         record.mark_unreachable()
+        self.mutation_epoch += 1
         self._node_os.pop(hostname, None)
         for observer in self.node_observers:
             observer("unreachable", hostname)
@@ -77,10 +88,10 @@ class WinHpcScheduler:
         if spec.amount < 1:
             raise SchedulerError(f"job amount must be >= 1, got {spec.amount}")
         if spec.unit is WinJobUnit.CORE:
-            capacity = sum(r.cores for r in self.nodes.values())
-            if spec.amount > capacity:
+            if spec.amount > self._total_cores:
                 raise SchedulerError(
-                    f"job wants {spec.amount} cores, cluster has {capacity}"
+                    f"job wants {spec.amount} cores, "
+                    f"cluster has {self._total_cores}"
                 )
         elif spec.amount > len(self.nodes):
             raise SchedulerError(
@@ -105,13 +116,17 @@ class WinHpcScheduler:
         self._seq += 1
         self.jobs[job.job_id] = job
         # priority queue with FIFO ties: insert after the last job of equal
-        # or greater priority (HPC Pack's queued scheduling mode)
-        position = len(self.queue_order)
-        for index, queued_id in enumerate(self.queue_order):
-            if self.jobs[queued_id].priority < job.priority:
-                position = index
+        # or greater priority (HPC Pack's queued scheduling mode).  The
+        # queue is always sorted non-increasing by priority, so scanning
+        # from the tail finds the slot in O(1) for the common equal-
+        # priority case instead of walking the whole backlog.
+        position = 0
+        for index in range(len(self.queue_order) - 1, -1, -1):
+            if self.jobs[self.queue_order[index]].priority >= job.priority:
+                position = index + 1
                 break
         self.queue_order.insert(position, job.job_id)
+        self.mutation_epoch += 1
         self._notify("submitted", job)
         self._try_schedule()
         return job
@@ -140,7 +155,9 @@ class WinHpcScheduler:
         return [self.jobs[j] for j in self.queue_order]
 
     def running_jobs(self) -> List[WinHpcJob]:
-        return [j for j in self.jobs.values() if j.state is WinJobState.RUNNING]
+        # Sorted by job id to match the historical jobs-dict scan (jobs
+        # can start out of id order when priorities reorder the queue).
+        return sorted(self._running.values(), key=lambda j: j.job_id)
 
     def online_nodes(self) -> List[WinNodeRecord]:
         return [r for r in self.nodes.values() if r.state is WinNodeState.ONLINE]
@@ -190,6 +207,8 @@ class WinHpcScheduler:
         for hostname, cores in placement.items():
             self.nodes[hostname].allocate(job.job_id, cores)
             job.allocation[hostname] = cores
+        self._running[job.job_id] = job
+        self.mutation_epoch += 1
         self._runners[job.job_id] = self.sim.spawn(
             self._run(job), name=f"winjob:{job.job_id}"
         )
@@ -219,8 +238,12 @@ class WinHpcScheduler:
     def _finish(self, job: WinHpcJob, state: WinJobState) -> None:
         job.state = state
         job.end_time = self.sim.now
-        for record in self.nodes.values():
-            record.release(job.job_id)
+        # Release only the nodes the job was placed on — the historical
+        # all-nodes sweep made every completion O(cluster size).
+        for hostname in job.allocation:
+            self.nodes[hostname].release(job.job_id)
+        self._running.pop(job.job_id, None)
+        self.mutation_epoch += 1
         self._runners.pop(job.job_id, None)
         if job.on_complete is not None:
             job.on_complete(job)

@@ -1,0 +1,13 @@
+"""PERF001 positive: a per-cycle scan re-introduced on the hot path.
+
+Sorting the whole node table on every allocation is exactly the O(n log n)
+per-control-cycle cost the NodeIndex removed; without a justification
+comment this must be flagged in the guarded modules.
+"""
+
+
+def allocate(nodes, ppn):
+    for _name, record in sorted(nodes.items(), reverse=True):
+        if record.available_cores >= ppn:
+            return [(record, ppn)]
+    return None

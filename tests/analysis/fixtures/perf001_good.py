@@ -1,0 +1,17 @@
+"""PERF001 negative: justified cold-path sorts pass.
+
+A sort is fine in a guarded module when it is off the per-cycle path and
+says so — the marker may sit on the call line or the line above.
+"""
+
+
+def allocate_reference(nodes, ppn):
+    # perf: cold-path reference impl (property tests compare the index to it)
+    for _name, record in sorted(nodes.items(), reverse=True):
+        if record.available_cores >= ppn:
+            return [(record, ppn)]
+    return None
+
+
+def ordered_report(jobs):
+    return sorted(jobs, key=lambda j: j.seq_number)  # perf: cold-path — O(active) render, not per-cycle

@@ -27,15 +27,22 @@ EXPECTED = {
     "API001": {"API001"},
     "SUP001": {"SUP001"},
     "SUP002": {"SUP002"},
+    "PERF001": {"PERF001"},
+}
+
+#: Rules that are scoped to specific modules (not package-wide): their
+#: fixtures must lint *as* a module where the rule is active.
+MODULE_FOR = {
+    "perf001": "repro.core.detector",
 }
 
 
 def lint_fixture(name: str):
     path = FIXTURES / f"{name}.py"
     source = path.read_text(encoding="utf-8")
-    return lint_source(
-        source, path=str(path), module=f"repro.core.{name}"
-    )
+    stem = name.rsplit("_", 1)[0]
+    module = MODULE_FOR.get(stem, f"repro.core.{name}")
+    return lint_source(source, path=str(path), module=module)
 
 
 @pytest.mark.parametrize("rule_id", sorted(EXPECTED))

@@ -84,6 +84,15 @@ def test_e7_shapes_quick():
     assert h["eager_cuts_windows_wait_vs_fcfs"]
 
 
+def test_e10_shapes_quick():
+    h = run_quick("e10").headline
+    assert h["sizes"] == [32, 64]
+    assert h["every_size_completed_jobs"]
+    assert h["trace_invariants_ok"]
+    # workload scales with the cluster: the larger run submits more jobs
+    assert h["per_size"]["64"]["jobs"] > h["per_size"]["32"]["jobs"]
+
+
 def test_experiments_deterministic():
     a = run_quick("e5").headline["cycle_10m"]["wait_min"]
     b = run_quick("e5").headline["cycle_10m"]["wait_min"]

@@ -1,0 +1,81 @@
+"""Cancel/peek/step/run interleavings against the compacting heap.
+
+The kernel keeps cancelled entries in the heap (lazy deletion) and
+compacts when more than half the queue is dead.  These regressions pin
+the contract the rest of the substrate relies on: a cancelled callback
+never fires — regardless of how cancels interleave with ``peek``,
+``step``, ``run(until)`` slices, compactions, or re-cancels of entries
+that already ran — and the dead-entry accounting never drifts.
+"""
+
+from repro.simkernel import Simulator
+from repro.simkernel.kernel import _COMPACT_FLOOR
+
+
+def test_cancel_peek_step_interleaving_never_fires_cancelled():
+    sim = Simulator()
+    fired = []
+    entries = [
+        sim.schedule(float(t), fired.append, t) for t in range(200)
+    ]
+    cancelled = set()
+    # cancel a moving window just ahead of the next event, peeking
+    # between steps so the dead-head drop path runs constantly
+    while True:
+        head = sim.peek()
+        if head is None:
+            assert not sim.step()
+            break
+        assert head >= sim.now
+        for ahead in (int(head) + 1, int(head) + 3):
+            if ahead < 200 and ahead % 3 == 0 and ahead not in cancelled:
+                sim.cancel(entries[ahead])
+                cancelled.add(ahead)
+        assert sim.step()
+    assert cancelled
+    assert not cancelled.intersection(fired)
+    assert fired == [t for t in range(200) if t not in cancelled]
+    assert sim.dead_entries == 0  # everything fired or was popped dead
+
+
+def test_cancel_then_run_slices_and_late_cancels():
+    sim = Simulator()
+    fired = []
+    entries = [sim.schedule(float(t), fired.append, t) for t in range(100)]
+    for t in range(0, 100, 2):
+        sim.cancel(entries[t])
+    # run in uneven slices; cancel more (including already-fired and
+    # already-cancelled entries) between slices
+    for until in (10.5, 11.0, 37.2, 80.0, 200.0):
+        sim.run(until=until)
+        for entry in entries[:11]:
+            sim.cancel(entry)  # no-ops: fired (t <= 10) or already dead
+    assert fired == [t for t in range(100) if t % 2 == 1]
+    assert sim.now == 200.0
+    assert sim.dead_entries == 0
+
+
+def test_mass_cancel_triggers_compaction_and_preserves_order():
+    sim = Simulator()
+    fired = []
+    keep = [sim.schedule(1000.0 + t, fired.append, t) for t in range(10)]
+    bulk = [sim.schedule(float(t), fired.append, -t) for t in range(500)]
+    for entry in bulk:
+        sim.cancel(entry)
+    # more than half the queue is dead and above the floor -> compacted
+    assert sim.compactions >= 1
+    assert sim.dead_entries <= _COMPACT_FLOOR
+    sim.run()
+    assert fired == list(range(10))
+    assert [e.alive for e in keep] == [False] * 10  # fired entries are dead
+    assert sim.dead_entries == 0
+
+
+def test_cancel_of_fired_entry_does_not_skew_dead_count():
+    sim = Simulator()
+    entry = sim.schedule(1.0, lambda: None)
+    sim.run()
+    before = sim.dead_entries
+    for _ in range(5):
+        sim.cancel(entry)  # already executed: must stay a no-op
+    assert sim.dead_entries == before == 0

@@ -30,8 +30,8 @@ def _run(experiment_id):
     return module.run(seed=SEED, quick=True)
 
 
-def test_battery_covers_all_nine_experiments():
-    assert SIMULATION_EXPERIMENTS == [f"e{i}" for i in range(1, 10)]
+def test_battery_covers_all_ten_experiments():
+    assert SIMULATION_EXPERIMENTS == sorted(f"e{i}" for i in range(1, 11))
 
 
 @pytest.mark.parametrize("experiment_id", SIMULATION_EXPERIMENTS)
