@@ -1,0 +1,20 @@
+"""E14 — node-failure storm survival (heartbeat fencing + job recovery)."""
+
+from repro.experiments.e14_survival import run
+
+
+def test_bench_e14_survival(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["storm_hit_running_jobs"]
+    assert h["rerunnable_survival_is_100pct"]
+    assert h["fenced_nodes_rejoined"]
+    assert h["every_size_fenced_and_recovered"]
+    assert h["checkpointing_reduces_lost_work"]
+    assert h["deterministic"] and h["trace_deterministic"]
+    assert h["trace_invariants_ok"]
+    # at full scale the 1024-node storm must still lose nothing
+    largest = h["per_size"][str(max(h["sizes"]))]
+    assert largest["survival_rate"] == 1.0
+    assert largest["failed_on_fence"] == 0

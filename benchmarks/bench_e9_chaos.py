@@ -12,3 +12,4 @@ def test_bench_e9_chaos(run_once, publish):
     assert h["every_scenario_finishes_the_workload"]
     assert h["retries_recover_lost_reports"]
     assert h["watchdog_reissued_after_boot_hang"]
+    assert h["node_failures_recovered"]

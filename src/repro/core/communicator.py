@@ -100,6 +100,9 @@ class SwitchOrders:
         self.orders_failed = 0
         self.orders: List[SwitchOrderRecord] = []
         self._next_order_id = 1
+        #: nodes whose next scheduler join is a crash recovery, not a
+        #: switch landing — their join must not confirm a pending order
+        self._expected_rejoins: set = set()
         pbs.node_observers.append(self._on_pbs_node_event)
         winhpc.node_observers.append(self._on_win_node_event)
 
@@ -164,6 +167,9 @@ class SwitchOrders:
                         amount=1,
                         script=script,
                         tag=SWITCH_TAG,
+                        # mirrors the PBS scripts' `#PBS -r n`: a switch
+                        # job rerun elsewhere would reboot the wrong node
+                        rerunnable=False,
                     ),
                     owner="dualboot-oscar",
                 )
@@ -202,6 +208,10 @@ class SwitchOrders:
             self._confirm("windows", hostname)
 
     def _confirm(self, target_os: str, hostname: str) -> None:
+        if hostname in self._expected_rejoins:
+            # a fenced node rebooting back is not a switch landing
+            self._expected_rejoins.discard(hostname)
+            return
         for order in self.orders:
             if order.pending and order.target_os == target_os:
                 order.state = OrderState.CONFIRMED
@@ -217,6 +227,38 @@ class SwitchOrders:
                         latency_s=order.resolved_at - order.issued_at,
                     )
                 return
+
+    # -- node-failure hooks --------------------------------------------------
+
+    def expect_rejoin(self, hostname: str) -> None:
+        """Mark a fenced node: its next scheduler join confirms no order."""
+        self._expected_rejoins.add(hostname)
+
+    def abort_jobs(self, jobids, cause: str) -> int:
+        """Fail every pending order whose batch job is in *jobids*.
+
+        Called when a node fence terminally kills switch jobs (they are
+        not rerunnable): the order can never be confirmed, so failing it
+        now frees in-flight capacity immediately instead of waiting out
+        the watchdog.  Returns the number of orders aborted.
+        """
+        targets = {str(jobid) for jobid in jobids}
+        aborted = 0
+        for order in self.orders:
+            if not order.pending or str(order.jobid) not in targets:
+                continue
+            order.state = OrderState.FAILED
+            order.resolved_at = self.pbs.sim.now
+            self.orders_failed += 1
+            aborted += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "order.failed",
+                    cause=cause,
+                    order_id=order.order_id,
+                    target_os=order.target_os,
+                )
+        return aborted
 
     # -- watchdog ------------------------------------------------------------
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.simkernel.timeunits import MINUTE
@@ -46,6 +47,16 @@ class MiddlewareConfig:
     #: switch-order watchdog: orders unresolved after this are failed
     order_timeout_s: float = 15 * MINUTE
     watchdog_poll_s: float = MINUTE
+    #: node-failure resilience: heartbeat monitor + job recovery policy
+    health_monitoring: bool = True
+    health_beat_s: float = MINUTE
+    health_suspect_misses: int = 2
+    health_fence_misses: int = 5
+    #: how many times a rerunnable job is requeued before it fails for good
+    job_max_restarts: int = 3
+    #: checkpoint model: work in whole multiples of this interval survives
+    #: an eviction (``None`` = no checkpointing, everything is lost)
+    checkpoint_interval_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.version not in (1, 2):
@@ -68,3 +79,15 @@ class MiddlewareConfig:
             raise ConfigurationError("staleness_cycles must be >= 1")
         if self.order_timeout_s <= 0 or self.watchdog_poll_s <= 0:
             raise ConfigurationError("watchdog timings must be positive")
+        if self.health_beat_s <= 0:
+            raise ConfigurationError("health_beat_s must be positive")
+        if not 1 <= self.health_suspect_misses < self.health_fence_misses:
+            raise ConfigurationError(
+                "need 1 <= health_suspect_misses < health_fence_misses"
+            )
+        if self.job_max_restarts < 0:
+            raise ConfigurationError("job_max_restarts must be >= 0")
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ConfigurationError(
+                "checkpoint_interval_s must be positive when set"
+            )

@@ -37,6 +37,7 @@ from repro.core.policy import FcfsPolicy, SwitchPolicy
 from repro.errors import MiddlewareError
 from repro.hardware.cluster import Cluster, build_cluster
 from repro.hardware.node import ComputeNode, NodeState
+from repro.health import HeartbeatMonitor
 from repro.metrics.effort import AdminEffortLedger
 from repro.metrics.recorder import ClusterRecorder
 from repro.oscar.idedisk import IDE_DISK_V1_MANUAL, IDE_DISK_V2, parse_ide_disk
@@ -86,6 +87,7 @@ class DualBootOscar:
         self.controller: Optional[BootController] = None
         self.daemons: Optional[DualBootDaemons] = None
         self.menu_spec: Optional[DualBootMenuSpec] = None
+        self.health: Optional[HeartbeatMonitor] = None
         self._deployed = False
 
     # -- convenient accessors -------------------------------------------------
@@ -123,13 +125,32 @@ class DualBootOscar:
         image = self._deploy_linux_side()
         self._build_controller(image)
         self._prepare_nodes()
+        # node-failure resilience: recovery policy + heartbeat monitor
+        for scheduler in (self.pbs, self.winhpc):
+            scheduler.tracer = self.tracer
+            scheduler.max_job_restarts = config.job_max_restarts
+            scheduler.checkpoint_interval_s = config.checkpoint_interval_s
+        if config.health_monitoring:
+            self.health = HeartbeatMonitor(
+                self.sim,
+                beat_s=config.health_beat_s,
+                suspect_misses=config.health_suspect_misses,
+                fence_misses=config.health_fence_misses,
+                tracer=self.tracer,
+            )
+            self.health.on_fence.append(self._on_node_fenced)
         for node in self.cluster.compute_nodes:
             node.provisioners.append(self._dualboot_provisioner)
             node.tracer = self.tracer
+            node.on_crash.append(self._on_node_crash)
+            if self.health is not None:
+                self.health.watch(node)
             self.recorder.attach_node(node)
         self.recorder.attach_pbs(self.pbs)
         self.recorder.attach_winhpc(self.winhpc)
         self._deployed = True
+        if self.health is not None:
+            self.health.start()
         self._initial_power_on()
         self.daemons = start_daemons(
             cluster=self.cluster,
@@ -248,6 +269,10 @@ class DualBootOscar:
 
     def _dualboot_provisioner(self, node: ComputeNode, os_instance: OSInstance) -> None:
         """Per-boot wiring: the switch scripts' dependencies must exist."""
+        if self.health is not None:
+            # the heartbeat agent rides both OSes, so an OS switch never
+            # looks like a node death
+            self.health.attach_agent(node, os_instance)
         if os_instance.kind == "linux":
             register_bootcontrol(os_instance)
             os_instance.mkdir(f"/home/{self.config.pbs_user}/reboot_log")
@@ -268,6 +293,30 @@ class DualBootOscar:
                 else FLICK_BINARY_WINDOWS
             )
             os_instance.register_binary(path, flick)
+
+    def _on_node_crash(self, node: ComputeNode) -> None:
+        """Hardware crash hook: freeze the victim's jobs where they stand.
+
+        Neither scheduler *reacts* here — the death is silent until the
+        health monitor fences the node — but their runners must stop
+        making progress the instant the power goes.
+        """
+        self.pbs.node_crashed(node.name)
+        self.winhpc.node_crashed(node.name)
+
+    def _on_node_fenced(self, hostname: str) -> None:
+        """Health-monitor fence: evict jobs, abort dead switch orders."""
+        pbs_out = self.pbs.fence_node(hostname, cause="node fenced")
+        win_out = self.winhpc.fence_node(hostname, cause="node fenced")
+        if self.daemons is not None:
+            failed = pbs_out["failed"] + win_out["failed"]
+            if failed:
+                self.daemons.orders.abort_jobs(
+                    failed, cause=f"node {hostname} fenced"
+                )
+            # the fenced node's eventual reboot must not confirm someone
+            # else's pending switch order
+            self.daemons.orders.expect_rejoin(hostname)
 
     def _initial_power_on(self) -> None:
         """Boot every node into its configured initial OS.

@@ -96,4 +96,5 @@ ALL_EXPERIMENTS = {
     "e8": "repro.experiments.e8_resilience",
     "e9": "repro.experiments.e9_chaos",
     "e10": "repro.experiments.e10_scale",
+    "e14": "repro.experiments.e14_survival",
 }

@@ -13,7 +13,11 @@ small workload forces OS switches in both directions:
 * **crash** — the Windows head daemon dies for 15 minutes, then the
   Linux head daemon for 10;
 * **chaos** — all of the above at once, plus one hang-at-boot and a
-  DHCP flap.
+  DHCP flap;
+* **nodefail** — a compute node dies hard mid-run (repowered 12 minutes
+  later) and a second one crash/recover flaps twice: the heartbeat
+  monitor must fence them and both schedulers must requeue or re-place
+  the victim jobs without losing one.
 
 Every run is exactly reproducible from ``(seed, plan)``: the injector
 draws from named RNG substreams, so the table below is byte-identical
@@ -31,6 +35,8 @@ from repro.faults import (
     FaultPlan,
     HeadCrash,
     LinkFault,
+    NodeCrash,
+    NodeFlap,
     Partition,
     ServiceFlap,
     WireCorruption,
@@ -39,8 +45,10 @@ from repro.metrics.report import Table
 from repro.simkernel import HOUR, MINUTE
 from repro.winhpc.job import WinJobState
 
-SCENARIOS = ("baseline", "lossy", "corrupt", "partition", "crash", "chaos")
-QUICK_SCENARIOS = ("baseline", "lossy", "chaos")
+SCENARIOS = (
+    "baseline", "lossy", "corrupt", "partition", "crash", "chaos", "nodefail",
+)
+QUICK_SCENARIOS = ("baseline", "lossy", "chaos", "nodefail")
 
 
 def _plan(scenario: str, t0: float, linux_head: str, windows_head: str,
@@ -80,6 +88,18 @@ def _plan(scenario: str, t0: float, linux_head: str, windows_head: str,
             ),
             boot_hangs=(BootHang(times=1, start_s=t0),),
         )
+    if scenario == "nodefail":
+        return FaultPlan(
+            name=scenario,
+            node_crashes=(
+                NodeCrash(node="enode01", at_s=t0 + 3 * MINUTE,
+                          restart_after_s=12 * MINUTE),
+            ),
+            node_flaps=(
+                NodeFlap(node="enode02", first_at_s=t0 + 50 * MINUTE,
+                         down_s=8 * MINUTE, period_s=25 * MINUTE, count=2),
+            ),
+        )
     raise ValueError(f"unknown scenario {scenario!r}")
 
 
@@ -108,6 +128,7 @@ def _chaos_run(version: int, scenario: str, seed: int,
         control=hybrid.daemons,
         dhcp=installation.dhcp,
         tftp=installation.tftp,
+        nodes={n.name: n for n in cluster.compute_nodes},
         env=cluster.env,
         tracer=hybrid.tracer,
     )
@@ -154,6 +175,9 @@ def _chaos_run(version: int, scenario: str, seed: int,
         "orders_confirmed": daemons.orders.orders_confirmed,
         "orders_failed": daemons.orders.orders_failed,
         "switches": hybrid.recorder.switch_count,
+        "node_fences": hybrid.health.fences if hybrid.health else 0,
+        "node_recoveries": hybrid.health.recoveries if hybrid.health else 0,
+        "requeued_jobs": hybrid.pbs.requeues + hybrid.winhpc.requeues,
         "jobs_done": win_done + (1 if lin_done else 0),
         "daemons_alive": all(p is not None and p.alive
                              for p in daemon_processes),
@@ -225,13 +249,23 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
             and chaos_v2["orders_failed"] >= 1
             and chaos_v2["orders_confirmed"] >= 1
         )
+    if "nodefail" in scenarios:
+        nodefail_v2 = headline["nodefail:v2"]
+        output.headline["node_failures_recovered"] = (
+            nodefail_v2["fault_counters"].get("node-crash:enode01", 0) >= 1
+            and nodefail_v2["fault_counters"].get("node-crash:enode02", 0) >= 1
+            and nodefail_v2["node_fences"] >= 1
+            and nodefail_v2["node_recoveries"] >= 1
+            and nodefail_v2["jobs_done"] == 3
+        )
     output.notes.append(
         "acked/retries/lost count the Windows communicator's reports; "
         "'corrupt' are wire strings the Linux side discarded instead of "
         "dying on; 'stale-skips' are heartbeat evaluations refused because "
         "the last Windows report exceeded the 3-cycle staleness cap; "
         "orders i/c/f = switch orders issued/confirmed/failed by the "
-        "watchdog; every row is byte-identical across repeats of the same "
-        "(seed, plan)"
+        "watchdog; the nodefail row additionally exercises the heartbeat "
+        "monitor's fence/recover path on hard node deaths; every row is "
+        "byte-identical across repeats of the same (seed, plan)"
     )
     return output

@@ -21,6 +21,8 @@ from repro.faults.plan import (
     FaultPlan,
     HeadCrash,
     LinkFault,
+    NodeCrash,
+    NodeFlap,
     Partition,
     ServiceFlap,
     WireCorruption,
@@ -33,6 +35,8 @@ __all__ = [
     "FaultPlan",
     "HeadCrash",
     "LinkFault",
+    "NodeCrash",
+    "NodeFlap",
     "Partition",
     "ServiceFlap",
     "WireCorruption",

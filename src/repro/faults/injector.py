@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.faults.plan import BootHang, FaultPlan
+from repro.hardware.node import NodeState
 from repro.netsvc.network import DeliveryVerdict, Message, Network
 from repro.simkernel import Simulator
 from repro.simkernel.rng import RngStreams
@@ -72,6 +73,9 @@ class FaultInjector:
     node_macs:
         ``node name -> MAC`` map for targeted boot hangs; hangs on ``"*"``
         need no map.
+    nodes:
+        ``node name -> ComputeNode`` map for node crashes/flaps.  Required
+        only when the plan contains node faults.
     env:
         The shared :class:`~repro.boot.chain.BootEnvironment` whose
         ``hang_hook`` the injector owns while armed.
@@ -88,6 +92,7 @@ class FaultInjector:
         dhcp: Any = None,
         tftp: Any = None,
         node_macs: Optional[Dict[str, str]] = None,
+        nodes: Optional[Dict[str, Any]] = None,
         env: Any = None,
         tracer: Any = None,
     ) -> None:
@@ -100,6 +105,7 @@ class FaultInjector:
         self.dhcp = dhcp
         self.tftp = tftp
         self.node_macs = dict(node_macs or {})
+        self.nodes = dict(nodes or {})
         self.env = env
         self.counters: Dict[str, int] = {}
         self._armed = False
@@ -128,6 +134,17 @@ class FaultInjector:
                 raise ConfigurationError(
                     f"boot hang targets unknown node {hang.node!r}"
                 )
+        node_faults = [nc.node for nc in self.plan.node_crashes]
+        node_faults += [nf.node for nf in self.plan.node_flaps]
+        if node_faults and not self.nodes:
+            raise ConfigurationError(
+                "plan has node faults but no node handles were given"
+            )
+        for target in node_faults:
+            if target not in self.nodes:
+                raise ConfigurationError(
+                    f"node fault targets unknown node {target!r}"
+                )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -153,6 +170,23 @@ class FaultInjector:
                 self.sim.schedule_at(down_at, self._set_service, flap.service, False)
                 self.sim.schedule_at(
                     down_at + flap.down_s, self._set_service, flap.service, True
+                )
+        for node_crash in self.plan.node_crashes:
+            self.sim.schedule_at(
+                node_crash.at_s, self._node_crash, node_crash.node
+            )
+            if node_crash.restart_after_s is not None:
+                self.sim.schedule_at(
+                    node_crash.at_s + node_crash.restart_after_s,
+                    self._node_restart, node_crash.node,
+                )
+        for node_flap in self.plan.node_flaps:
+            for i in range(node_flap.count):
+                down_at = node_flap.first_at_s + i * node_flap.period_s
+                self.sim.schedule_at(down_at, self._node_crash, node_flap.node)
+                self.sim.schedule_at(
+                    down_at + node_flap.down_s,
+                    self._node_restart, node_flap.node,
                 )
         if self.plan.boot_hangs:
             self._hangs = [_ArmedHang(h) for h in self.plan.boot_hangs]
@@ -249,6 +283,19 @@ class FaultInjector:
         self._count(f"restart:{crash.side}")
         self._trace("fault.restart", side=crash.side)
         self.control.restart(crash.side)
+
+    def _node_crash(self, name: str) -> None:
+        node = self.nodes[name]
+        if node.crash(cause=f"injected ({self.plan.name})"):
+            self._count(f"node-crash:{name}")
+            self._trace("fault.node_crash", node=name)
+
+    def _node_restart(self, name: str) -> None:
+        node = self.nodes[name]
+        if node.state in (NodeState.OFF, NodeState.FAILED):
+            self._count(f"node-restart:{name}")
+            self._trace("fault.node_restart", node=name)
+            node.power_on()
 
     def _set_service(self, name: str, enabled: bool) -> None:
         service = getattr(self, name)

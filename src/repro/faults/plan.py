@@ -19,6 +19,8 @@ fault                     what it attacks
 :class:`WireCorruption`   the Figure-5 wire string (bit rot / truncation)
 :class:`ServiceFlap`      DHCP or TFTP (the v2 PXE boot dependency)
 :class:`BootHang`         a rebooting node (hangs at POST, never comes back)
+:class:`NodeCrash`        a compute node's power, mid-job (hardware death)
+:class:`NodeFlap`         a compute node, repeatedly (crash/recover cycles)
 ========================  =====================================================
 """
 
@@ -26,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -193,6 +195,54 @@ class BootHang:
 
 
 @dataclass(frozen=True)
+class NodeCrash:
+    """Compute node ``node`` loses power at ``at_s``, mid-whatever it runs.
+
+    Unlike :class:`BootHang` this kills a node that is *up* — including one
+    with jobs on its cores — without any orderly shutdown, so neither
+    scheduler is told.  With ``restart_after_s`` set, the machine is
+    repowered that many seconds later (an operator walking to the rack);
+    ``None`` means it stays dead for the rest of the run.
+    """
+
+    node: str
+    at_s: float
+    restart_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ConfigurationError("node crash: at_s must be >= 0")
+        if self.restart_after_s is not None and self.restart_after_s <= 0:
+            raise ConfigurationError(
+                "node crash: restart_after_s must be > 0 when set"
+            )
+
+
+@dataclass(frozen=True)
+class NodeFlap:
+    """Compute node ``node`` crash/recover cycles: ``count`` crashes of
+    ``down_s`` seconds each, one every ``period_s``, from ``first_at_s``."""
+
+    node: str
+    first_at_s: float
+    down_s: float
+    period_s: float = 0.0
+    count: int = 2
+
+    def __post_init__(self) -> None:
+        if self.first_at_s < 0:
+            raise ConfigurationError("node flap: first_at_s must be >= 0")
+        if self.down_s <= 0:
+            raise ConfigurationError("node flap: down_s must be > 0")
+        if self.count < 1:
+            raise ConfigurationError("node flap: count must be >= 1")
+        if self.count > 1 and self.period_s <= self.down_s:
+            raise ConfigurationError(
+                "node flap: period_s must exceed down_s for repeated crashes"
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything one chaos run injects (immutable, validated)."""
 
@@ -203,12 +253,15 @@ class FaultPlan:
     corruptions: Tuple[WireCorruption, ...] = ()
     service_flaps: Tuple[ServiceFlap, ...] = ()
     boot_hangs: Tuple[BootHang, ...] = ()
+    node_crashes: Tuple[NodeCrash, ...] = ()
+    node_flaps: Tuple[NodeFlap, ...] = ()
 
     @property
     def is_empty(self) -> bool:
         return not (
             self.link_faults or self.partitions or self.head_crashes
             or self.corruptions or self.service_flaps or self.boot_hangs
+            or self.node_crashes or self.node_flaps
         )
 
     def describe(self) -> str:
@@ -234,6 +287,16 @@ class FaultPlan:
             )
         for h in self.boot_hangs:
             lines.append(f"  hang-at-boot {h.node} x{h.times}")
+        for nc in self.node_crashes:
+            back = (
+                f"back after {nc.restart_after_s:.0f}s"
+                if nc.restart_after_s is not None else "never restarts"
+            )
+            lines.append(f"  crash node {nc.node} at {nc.at_s:.0f}s ({back})")
+        for nf in self.node_flaps:
+            lines.append(
+                f"  flap node {nf.node} x{nf.count} ({nf.down_s:.0f}s down)"
+            )
         if self.is_empty:
             lines.append("  (no faults)")
         return "\n".join(lines)

@@ -108,7 +108,9 @@ class ComputeNode:
         self.installer_handler = None
         self.on_os_up: List[Callable[["ComputeNode", OSInstance], None]] = []
         self.on_os_down: List[Callable[["ComputeNode", OSInstance], None]] = []
+        self.on_crash: List[Callable[["ComputeNode"], None]] = []
         self._reboot_requested = False
+        self._power_process = None
         #: Optional :class:`repro.trace.Tracer` — set by the middleware.
         self.tracer = None
 
@@ -143,13 +145,19 @@ class ComputeNode:
             raise MiddlewareError(
                 f"{self.name}: power_on in state {self.state.value}"
             )
-        return self.sim.spawn(self._boot(cold=True), name=f"boot:{self.name}")
+        self._power_process = self.sim.spawn(
+            self._boot(cold=True), name=f"boot:{self.name}"
+        )
+        return self._power_process
 
     def reboot(self):
         """Graceful reboot; returns the reboot process."""
         if self.state is not NodeState.UP:
             raise MiddlewareError(f"{self.name}: reboot in state {self.state.value}")
-        return self.sim.spawn(self._reboot(), name=f"reboot:{self.name}")
+        self._power_process = self.sim.spawn(
+            self._reboot(), name=f"reboot:{self.name}"
+        )
+        return self._power_process
 
     def power_off(self) -> None:
         """Hard power cut (admin action, e.g. before a bare-metal reimage).
@@ -163,6 +171,39 @@ class ComputeNode:
             )
         self._shutdown_os()
         self.state = NodeState.OFF
+
+    def crash(self, cause: str = "power lost") -> bool:
+        """Instant, unclean death: power is gone *now*, mid-whatever.
+
+        Unlike :meth:`power_off` this is legal in any state and performs no
+        orderly shutdown — OS services never run their stop hooks, so the
+        schedulers are *not* told the node left (that is the health
+        monitor's job).  Returns ``False`` when the node was already dark.
+        """
+        if self.state is NodeState.OFF or self.state is NodeState.FAILED:
+            return False
+        if self._power_process is not None and self._power_process.alive:
+            self._power_process.kill()
+            self._power_process = None
+        if self.state is NodeState.BOOTING and self.boot_records:
+            record = self.boot_records[-1]
+            if record.finished_at is None:
+                record.finished_at = self.sim.now
+                record.error = cause
+        if self.current_os is not None:
+            os_instance = self.current_os
+            # power loss: the OS dies without firing its service stop hooks
+            os_instance.running = False
+            self._trace("node.os_down", cause=cause, os=os_instance.kind)
+            for callback in self.on_os_down:
+                callback(self, os_instance)
+            self.current_os = None
+        self.state = NodeState.OFF
+        self._reboot_requested = False
+        self._trace("node.crash", cause=cause)
+        for crash_callback in self.on_crash:
+            crash_callback(self)
+        return True
 
     def request_reboot(self, delay_s: float = 3.0) -> None:
         """Asynchronous ``sudo reboot``: the actual reboot starts shortly.

@@ -1,0 +1,19 @@
+"""Deterministic node-health monitoring.
+
+A hard node failure is *silent*: the machine loses power mid-job, its OS
+services never run their stop hooks, and both schedulers keep believing
+the node is up.  (Orderly shutdowns — reboots, OS switches — do run the
+hooks, so those the schedulers see directly.)  The only way the control
+plane learns a node died is the absence of heartbeats, exactly as in the
+operational clusters the fault model is grounded in (Fermilab
+cs/0307021's NGOP monitors, the OpenMosix farm's mosctl polling).
+
+:class:`~repro.health.monitor.HeartbeatMonitor` is that detector: a
+DES-driven poll loop that counts missed beats per node, escalates
+``HEALTHY -> SUSPECT -> FENCED``, and fires fencing callbacks the
+middleware wires to both schedulers' recovery paths.
+"""
+
+from repro.health.monitor import HealthState, HeartbeatMonitor, NodeHealth
+
+__all__ = ["HealthState", "HeartbeatMonitor", "NodeHealth"]

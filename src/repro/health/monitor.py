@@ -1,0 +1,222 @@
+"""The heartbeat health monitor.
+
+Model
+-----
+Every watched node gets a ``health_agent`` service attached to each OS
+instance it boots (dual-boot: the agent rides both Linux and Windows, so
+an OS *switch* never looks like a death).  While the agent's service is
+running, the monitor *expects* beats; a poll loop on the DES kernel then
+checks every ``beat_s`` seconds whether the node is actually up:
+
+- agent registered and node ``UP``: beat received, miss counter reset;
+- agent registered but node dark: a missed beat — ``suspect_misses``
+  consecutive misses mark the node ``SUSPECT``, ``fence_misses`` mark it
+  ``FENCED`` and fire the fencing callbacks (the middleware wires these
+  to both schedulers' recovery paths);
+- agent *deregistered* (orderly service stop — reboot, OS switch,
+  drain): beats are not expected, so planned downtime is never fenced.
+
+Fencing latency is therefore ``fence_misses * beat_s`` worst-case —
+5 minutes at the defaults, matching the paper's own switch-scale
+tolerance.  A fenced node that boots again re-registers its agent and is
+immediately recovered.
+
+Everything is deterministic: no wall clock, no randomness — the poll
+loop is an ordinary simulation process, and nodes are scanned in
+registration order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.node import ComputeNode, NodeState
+from repro.oslayer.base import OSInstance, ServiceDef
+from repro.simkernel import Simulator, Timeout
+
+
+class HealthState(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    FENCED = "fenced"
+
+
+@dataclass
+class NodeHealth:
+    """Monitor-side view of one node."""
+
+    name: str
+    state: HealthState = HealthState.HEALTHY
+    #: whether an agent is registered, i.e. beats are currently expected
+    expected: bool = False
+    misses: int = 0
+    fence_count: int = 0
+    last_beat_at: Optional[float] = None
+    fenced_at: Optional[float] = None
+    recovered_at: Optional[float] = None
+
+
+class HeartbeatMonitor:
+    """Counts missed heartbeats and escalates HEALTHY -> SUSPECT -> FENCED."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        beat_s: float = 60.0,
+        suspect_misses: int = 2,
+        fence_misses: int = 5,
+        tracer: Any = None,
+    ) -> None:
+        if beat_s <= 0:
+            raise ConfigurationError(f"health: beat_s must be > 0, got {beat_s}")
+        if not 1 <= suspect_misses < fence_misses:
+            raise ConfigurationError(
+                "health: need 1 <= suspect_misses < fence_misses, got "
+                f"{suspect_misses}/{fence_misses}"
+            )
+        self.sim = sim
+        self.beat_s = float(beat_s)
+        self.suspect_misses = suspect_misses
+        self.fence_misses = fence_misses
+        self.tracer = tracer
+        self._nodes: Dict[str, ComputeNode] = {}
+        self._order: List[str] = []
+        self._health: Dict[str, NodeHealth] = {}
+        self.on_fence: List[Callable[[str], None]] = []
+        self.on_recover: List[Callable[[str], None]] = []
+        self.fences = 0
+        self.recoveries = 0
+        self.suspects = 0
+        self._started = False
+
+    # -- registration --------------------------------------------------------
+
+    def watch(self, node: ComputeNode) -> None:
+        """Put ``node`` under observation (idempotent)."""
+        if node.name in self._nodes:
+            return
+        self._nodes[node.name] = node
+        self._order.append(node.name)
+        self._health[node.name] = NodeHealth(name=node.name)
+
+    def attach_agent(self, node: ComputeNode, os_instance: OSInstance) -> None:
+        """Install the heartbeat agent service on a fresh OS instance.
+
+        Called from the middleware's provisioner for every boot, so the
+        agent exists on both OSes and survives every switch.
+        """
+        self.watch(node)
+        name = node.name
+        os_instance.add_service(ServiceDef(
+            "health_agent",
+            on_start=lambda _os: self.agent_up(name),
+            on_stop=lambda _os: self.agent_down(name),
+        ))
+
+    # -- agent lifecycle (driven by OS service hooks) ------------------------
+
+    def agent_up(self, name: str) -> None:
+        health = self._health[name]
+        health.expected = True
+        health.misses = 0
+        health.last_beat_at = self.sim.now
+        if health.state is HealthState.FENCED:
+            health.state = HealthState.HEALTHY
+            health.recovered_at = self.sim.now
+            self.recoveries += 1
+            downtime = (
+                self.sim.now - health.fenced_at
+                if health.fenced_at is not None else None
+            )
+            self._trace(
+                "health.recovered", node=name, downtime_s=downtime,
+            )
+            for callback in self.on_recover:
+                callback(name)
+        elif health.state is HealthState.SUSPECT:
+            # a suspect that beats again was never dead
+            health.state = HealthState.HEALTHY
+
+    def agent_down(self, name: str) -> None:
+        """Orderly service stop: planned downtime, beats no longer expected."""
+        health = self._health[name]
+        health.expected = False
+        health.misses = 0
+        if health.state is not HealthState.FENCED:
+            health.state = HealthState.HEALTHY
+
+    # -- the poll loop -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise ConfigurationError("health monitor already started")
+        self._started = True
+        self._trace(
+            "health.armed",
+            beat_s=self.beat_s,
+            suspect_misses=self.suspect_misses,
+            fence_misses=self.fence_misses,
+            watched=len(self._order),
+        )
+        self.sim.spawn(self._loop(), name="health-monitor")
+
+    def _loop(self):
+        while True:
+            yield Timeout(self.beat_s)
+            self._poll()
+
+    def _poll(self) -> None:
+        for name in self._order:
+            health = self._health[name]
+            if not health.expected:
+                health.misses = 0
+                continue
+            node = self._nodes[name]
+            if node.state is NodeState.UP:
+                health.misses = 0
+                health.last_beat_at = self.sim.now
+                if health.state is HealthState.SUSPECT:
+                    # a suspect that beats again was never dead
+                    health.state = HealthState.HEALTHY
+                continue
+            health.misses += 1
+            if (
+                health.misses == self.suspect_misses
+                and health.state is HealthState.HEALTHY
+            ):
+                health.state = HealthState.SUSPECT
+                self.suspects += 1
+                self._trace("health.suspect", node=name, misses=health.misses)
+            elif (
+                health.misses >= self.fence_misses
+                and health.state is not HealthState.FENCED
+            ):
+                health.state = HealthState.FENCED
+                health.fence_count += 1
+                health.fenced_at = self.sim.now
+                self.fences += 1
+                self._trace(
+                    "health.fenced", node=name,
+                    cause=f"missed {health.misses} heartbeats",
+                )
+                for callback in self.on_fence:
+                    callback(name)
+
+    # -- inspection ----------------------------------------------------------
+
+    def health(self, name: str) -> NodeHealth:
+        return self._health[name]
+
+    def fenced_nodes(self) -> List[str]:
+        return [
+            name for name in self._order
+            if self._health[name].state is HealthState.FENCED
+        ]
+
+    def _trace(self, kind: str, *, node: Optional[str] = None,
+               cause: Optional[str] = None, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(kind, node=node, cause=cause, **fields)

@@ -47,6 +47,12 @@ class PbsJob:
     end_time: Optional[float] = None
     exit_status: Optional[int] = None
     exec_slots: List[Tuple[str, int]] = field(default_factory=list)
+    #: node-failure recovery bookkeeping (see ``PbsServer.fence_node``)
+    restarts: int = 0
+    checkpointed_s: float = 0.0
+    lost_work_s: float = 0.0
+    walltime_used_s: float = 0.0
+    interrupted_at: Optional[float] = None
     #: optional callback fired on completion (metrics, chaining)
     on_complete: Optional[Callable[["PbsJob"], None]] = None
     #: free-form tag used by the middleware ("os-switch") and workloads

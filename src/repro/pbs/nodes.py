@@ -90,3 +90,15 @@ class PbsNodeRecord:
         self.state = PbsNodeState.DOWN
         self.core_jobs.clear()
         self.last_state_change = now
+
+    def mark_offline(self, now: float) -> None:
+        """Admin cordon (``pbsnodes -o``): no new work, running jobs stay."""
+        self.state = PbsNodeState.OFFLINE
+        self.last_state_change = now
+
+    def clear_offline(self, now: float) -> None:
+        """Lift a cordon (``pbsnodes -c``); no-op unless offline."""
+        if self.state is PbsNodeState.OFFLINE:
+            self.state = PbsNodeState.FREE
+            self._refresh_state()
+            self.last_state_change = now

@@ -22,7 +22,7 @@ from repro.pbs.job import JobState, PbsJob
 from repro.pbs.nodes import PbsNodeRecord, PbsNodeState
 from repro.pbs.scheduler import NodeIndex
 from repro.pbs.script import parse_pbs_script
-from repro.simkernel import Interrupt, Simulator, Timeout
+from repro.simkernel import Event, Interrupt, Simulator, Timeout
 
 #: Exit status TORQUE reports for jobs killed by node loss / qdel.
 KILLED_EXIT_STATUS = 271
@@ -65,7 +65,15 @@ class PbsServer:
         self._max_np: int = 0
         self._moms: Dict[str, MomHandle] = {}
         self._runners: Dict[str, object] = {}  # jobid -> Process
+        self._walltime_entries: Dict[str, object] = {}  # jobid -> heap entry
         self._seq = first_jobid
+        #: Optional :class:`repro.trace.Tracer` — set by the middleware.
+        self.tracer = None
+        #: node-failure recovery policy (middleware copies config here)
+        self.max_job_restarts = 3
+        self.checkpoint_interval_s: Optional[float] = None
+        self.requeues = 0
+        self.jobs_failed_on_fence = 0
         #: observers: fn(event_name, job) with events submitted/started/finished
         self.observers: List[Callable[[str, PbsJob], None]] = []
         #: node observers: fn(event_name, short hostname) with events up/down
@@ -104,11 +112,18 @@ class PbsServer:
     def node_up(self, hostname: str, os_instance: object = None) -> None:
         """A pbs_mom reported in: the node joins the free pool."""
         record = self.node(hostname)
+        # a node that crashed and rebooted before the monitor fenced it
+        # comes back with its old jobs still booked: recover them first
+        stranded = record.jobs_here()
         record.mark_up(self.sim.now)
         self._index.reindex(record)
         self.mutation_epoch += 1
         if os_instance is not None:
             self._moms[record.hostname] = MomHandle(record.hostname, os_instance)
+        for jobid in stranded:
+            job = self.jobs.get(jobid)
+            if job is not None and job.state is JobState.RUNNING:
+                self._recover(job, cause="node returned after crash")
         for observer in self.node_observers:
             observer("up", hostname)
         self._try_schedule()
@@ -127,6 +142,158 @@ class PbsServer:
             runner = self._runners.get(jobid)
             if runner is not None:
                 runner.interrupt("node down")
+
+    # -- node failure & recovery ---------------------------------------------
+
+    def node_crashed(self, hostname: str) -> None:
+        """Hard node death: freeze its jobs where they stand.
+
+        Called the instant the power goes (the hardware layer's crash
+        hook), *before* anyone decides the node is gone for good.  The
+        runners are killed — a dead node computes nothing — and each
+        victim records when it stopped making progress, so the lost-work
+        accounting at fence time charges only real compute.  The node
+        record itself is left alone: the scheduler has not *observed* the
+        death yet; that is the health monitor's call.
+        """
+        record = self.nodes.get(self.fqdn(hostname))
+        if record is None:
+            return
+        for jobid in record.jobs_here():
+            job = self.jobs.get(jobid)
+            if job is None or job.state is not JobState.RUNNING:
+                continue
+            if job.interrupted_at is None:
+                job.interrupted_at = self.sim.now
+            runner = self._runners.get(jobid)
+            if runner is not None and runner.alive:
+                runner.kill()
+
+    def fence_node(
+        self, hostname: str, cause: str = "node fenced"
+    ) -> Dict[str, List[str]]:
+        """The health monitor declared the node dead: evict and recover.
+
+        Marks the node down, then requeues every rerunnable victim (with
+        retry budget left) and terminally fails the rest.  Returns
+        ``{"requeued": [...], "failed": [...]}`` so the caller can abort
+        dependent work (e.g. switch orders tied to failed jobs).
+        """
+        out: Dict[str, List[str]] = {"requeued": [], "failed": []}
+        record = self.nodes.get(self.fqdn(hostname))
+        if record is None:
+            return out
+        victims = record.jobs_here()
+        record.mark_down(self.sim.now)
+        self._index.reindex(record)
+        self.mutation_epoch += 1
+        self._moms.pop(record.hostname, None)
+        for observer in self.node_observers:
+            observer("down", hostname)
+        for jobid in victims:
+            job = self.jobs.get(jobid)
+            if job is None or job.state is not JobState.RUNNING:
+                continue
+            out[self._recover(job, cause)].append(jobid)
+        self._try_schedule()
+        return out
+
+    def cordon_node(self, hostname: str) -> None:
+        """Admin cordon: no new placements, running jobs keep running."""
+        record = self.node(hostname)
+        record.mark_offline(self.sim.now)
+        self._index.reindex(record)
+        self.mutation_epoch += 1
+
+    def uncordon_node(self, hostname: str) -> None:
+        record = self.node(hostname)
+        record.clear_offline(self.sim.now)
+        self._index.reindex(record)
+        self.mutation_epoch += 1
+        self._try_schedule()
+
+    def _recover(self, job: PbsJob, cause: str) -> str:
+        """Evict one running job from a dead node: requeue or fail.
+
+        Returns ``"requeued"`` or ``"failed"``.  The checkpoint model
+        credits ``floor(elapsed / interval) * interval`` seconds as
+        durable; the remainder is lost work, and all elapsed time is
+        charged against the walltime budget either way (the queue cannot
+        tell how much of a vanished job's run was saved).
+        """
+        runner = self._runners.pop(job.jobid, None)
+        if runner is not None and runner.alive:
+            runner.kill()
+        entry = self._walltime_entries.pop(job.jobid, None)
+        if entry is not None:
+            self.sim.cancel(entry)
+        stopped_at = (
+            job.interrupted_at if job.interrupted_at is not None else self.sim.now
+        )
+        started_at = job.start_time if job.start_time is not None else stopped_at
+        elapsed = max(0.0, stopped_at - started_at)
+        job.interrupted_at = None
+        interval = self.checkpoint_interval_s
+        durable = 0.0
+        if interval is not None and interval > 0:
+            durable = (elapsed // interval) * interval
+            if job.runtime_s is not None:
+                durable = min(
+                    durable, max(0.0, job.runtime_s - job.checkpointed_s)
+                )
+        job.walltime_used_s += elapsed
+        for host in dict.fromkeys(host for host, _ in job.exec_slots):
+            host_record = self.nodes[host]
+            host_record.release(job.jobid)
+            self._index.reindex(host_record)
+        job.exec_slots.clear()
+        self._running.pop(job.jobid, None)
+        self.mutation_epoch += 1
+        if job.rerunnable and job.restarts < self.max_job_restarts:
+            job.restarts += 1
+            job.checkpointed_s += durable
+            job.lost_work_s += elapsed - durable
+            job.state = JobState.QUEUED
+            job.start_time = None
+            self._requeue(job.jobid)
+            self.requeues += 1
+            self._trace_job(
+                "job.requeued", job, cause=cause,
+                restarts=job.restarts,
+                lost_s=elapsed - durable,
+                checkpointed_s=job.checkpointed_s,
+            )
+            self._notify("requeued", job)
+            return "requeued"
+        job.lost_work_s += elapsed
+        self.jobs_failed_on_fence += 1
+        suffix = (
+            "not rerunnable" if not job.rerunnable else "retry budget exhausted"
+        )
+        self._finish(job, KILLED_EXIT_STATUS, cause=f"{cause} ({suffix})")
+        return "failed"
+
+    def _requeue(self, jobid: str) -> None:
+        """Reinsert by sequence number: a requeued job rejoins the FIFO
+        where its submission order puts it, not at the back."""
+        seq = self.jobs[jobid].seq_number
+        for i in range(len(self.queue_order) - 1, -1, -1):
+            if self.jobs[self.queue_order[i]].seq_number < seq:
+                self.queue_order.insert(i + 1, jobid)
+                break
+        else:
+            self.queue_order.insert(0, jobid)
+
+    def _mom_alive(self, job: PbsJob) -> bool:
+        """Whether the mom that hosts *job* is still actually running.
+
+        Unit setups that call ``node_up`` without an OS model have no mom
+        handle; they count as alive (nothing there can crash silently).
+        """
+        mom = self._moms.get(job.exec_slots[0][0])
+        if mom is None:
+            return True
+        return getattr(mom.os_instance, "running", True)
 
     # -- job intake ----------------------------------------------------------
 
@@ -167,6 +334,7 @@ class PbsServer:
         self.jobs[jobid] = job
         self.queue_order.append(jobid)
         self.mutation_epoch += 1
+        self._trace_job("job.submitted", job, cores=job.total_cores)
         self._notify("submitted", job)
         self._try_schedule()
         return jobid
@@ -288,10 +456,16 @@ class PbsServer:
         self._runners[job.jobid] = self.sim.spawn(
             self._run(job), name=f"pbsjob:{job.jobid}"
         )
+        hosts = list(dict.fromkeys(
+            host.split(".")[0] for host, _ in job.exec_slots
+        ))
+        self._trace_job("job.started", job, hosts=hosts)
         self._notify("started", job)
 
     def _run(self, job: PbsJob):
-        # walltime enforcement: an armed timer interrupts the runner
+        # walltime enforcement: an armed timer interrupts the runner; a
+        # requeued job restarts with only its *remaining* budget (lost
+        # work was charged back in _recover)
         walltime_entry = None
         if job.walltime_s is not None:
             runner_id = job.jobid
@@ -301,13 +475,21 @@ class PbsServer:
                 if runner is not None:
                     runner.interrupt("walltime")
 
-            walltime_entry = self.sim.schedule(job.walltime_s, enforce)
+            remaining_wall = max(0.0, job.walltime_s - job.walltime_used_s)
+            walltime_entry = self.sim.schedule(remaining_wall, enforce)
+            self._walltime_entries[job.jobid] = walltime_entry
         try:
+            if not self._mom_alive(job):
+                # placed onto a node that silently died: nothing runs
+                # there, nothing ever completes — park until the health
+                # monitor fences the node and this runner is killed
+                yield Event(self.sim)
             if job.script is not None:
                 result = yield from self._run_script_payload(job)
                 exit_status = result.exit_code if result is not None else 1
             else:
-                yield Timeout(job.runtime_s if job.runtime_s is not None else 0.0)
+                remaining = job.runtime_s if job.runtime_s is not None else 0.0
+                yield Timeout(max(0.0, remaining - job.checkpointed_s))
                 exit_status = 0
         except Interrupt as interrupt:
             exit_status = (
@@ -334,7 +516,9 @@ class PbsServer:
         result = yield from run_script(mom.os_instance, job.script, env=env)
         return result
 
-    def _finish(self, job: PbsJob, exit_status: int) -> None:
+    def _finish(
+        self, job: PbsJob, exit_status: int, cause: Optional[str] = None
+    ) -> None:
         job.state = JobState.COMPLETED
         job.end_time = self.sim.now
         job.exit_status = exit_status
@@ -348,10 +532,26 @@ class PbsServer:
         self._running.pop(job.jobid, None)
         self.mutation_epoch += 1
         self._runners.pop(job.jobid, None)
+        entry = self._walltime_entries.pop(job.jobid, None)
+        if entry is not None:
+            self.sim.cancel(entry)
+        if cause is not None:
+            self._trace_job(
+                "job.failed", job, cause=cause, exit_status=exit_status
+            )
+        else:
+            self._trace_job("job.finished", job, exit_status=exit_status)
         if job.on_complete is not None:
             job.on_complete(job)
         self._notify("finished", job)
         self._try_schedule()
+
+    def _trace_job(self, kind: str, job: PbsJob,
+                   cause: Optional[str] = None, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                kind, cause=cause, scheduler="pbs", jobid=job.jobid, **fields
+            )
 
     def _notify(self, event: str, job: PbsJob) -> None:
         for observer in self.observers:

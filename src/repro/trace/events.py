@@ -56,8 +56,26 @@ BOOT_INSTALLER = "boot.installer"
 NODE_OS_UP = "node.os_up"
 NODE_OS_DOWN = "node.os_down"
 
+#: Hard node failure (power lost without an orderly shutdown).
+NODE_CRASH = "node.crash"
+
+#: Job lifecycle on either scheduler (``fields["scheduler"]`` says which).
+JOB_SUBMITTED = "job.submitted"
+JOB_STARTED = "job.started"
+JOB_FINISHED = "job.finished"
+JOB_REQUEUED = "job.requeued"
+JOB_FAILED = "job.failed"
+
+#: Heartbeat health monitor (suspect -> fenced -> recovered).
+HEALTH_ARMED = "health.armed"
+HEALTH_SUSPECT = "health.suspect"
+HEALTH_FENCED = "health.fenced"
+HEALTH_RECOVERED = "health.recovered"
+
 #: Fault injection (every injected fault is a trace event).
 FAULT_ARMED = "fault.armed"
+FAULT_NODE_CRASH = "fault.node_crash"
+FAULT_NODE_RESTART = "fault.node_restart"
 FAULT_PREFIX = "fault."
 
 

@@ -274,6 +274,83 @@ def check_fault_after_arm(events: Sequence[TraceEvent]) -> List[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# 8. No job is ever lost: every submission ends completed, failed, or
+#    still queued — and a node fence always resolves the jobs it evicted.
+# ---------------------------------------------------------------------------
+
+@invariant("no-job-lost")
+def check_no_job_lost(events: Sequence[TraceEvent]) -> List[Violation]:
+    """The job-lifecycle state machine holds for every traced job.
+
+    Per ``(scheduler, jobid)``: ``submitted`` happens first and once;
+    ``started`` only from queued; ``requeued`` only from running;
+    ``finished``/``failed`` are terminal (from queued or running); no
+    event follows a terminal one.  Additionally, every job attempt that
+    was running on a node when ``health.fenced`` hit it must be resolved
+    (requeued, failed, or finished) at-or-after the fence — a fenced
+    node's jobs cannot simply vanish.
+    """
+    name = "no-job-lost"
+    out: List[Violation] = []
+    JOB_KINDS = (ev.JOB_SUBMITTED, ev.JOB_STARTED, ev.JOB_FINISHED,
+                 ev.JOB_REQUEUED, ev.JOB_FAILED)
+    state: Dict[tuple, str] = {}          # key -> queued|running|done
+    hosts: Dict[tuple, List[str]] = {}    # key -> current attempt's hosts
+    pending_fence: Dict[tuple, TraceEvent] = {}  # key -> the fence event
+    for e in events:
+        if e.kind == ev.HEALTH_FENCED:
+            if e.node is None:
+                continue
+            for key, running_hosts in hosts.items():
+                if state.get(key) == "running" and e.node in running_hosts:
+                    pending_fence.setdefault(key, e)
+            continue
+        if e.kind not in JOB_KINDS:
+            continue
+        key = (e.fields.get("scheduler"), str(e.fields.get("jobid")))
+        current = state.get(key)
+        if e.kind == ev.JOB_SUBMITTED:
+            if current is not None:
+                out.append(_violate(
+                    name, f"job {key} submitted twice", e))
+            state[key] = "queued"
+            continue
+        if current is None:
+            out.append(_violate(
+                name, f"job {key} saw {e.kind} before job.submitted", e))
+            continue
+        if current == "done":
+            out.append(_violate(
+                name, f"job {key} saw {e.kind} after a terminal event", e))
+            continue
+        if e.kind == ev.JOB_STARTED:
+            if current != "queued":
+                out.append(_violate(
+                    name, f"job {key} started while {current}", e))
+            state[key] = "running"
+            hosts[key] = [
+                str(h).split(".")[0] for h in e.fields.get("hosts", ())
+            ]
+        elif e.kind == ev.JOB_REQUEUED:
+            if current != "running":
+                out.append(_violate(
+                    name, f"job {key} requeued while {current}", e))
+            state[key] = "queued"
+            hosts.pop(key, None)
+            pending_fence.pop(key, None)
+        else:  # finished / failed: terminal
+            state[key] = "done"
+            hosts.pop(key, None)
+            pending_fence.pop(key, None)
+    for key, fence in pending_fence.items():
+        out.append(_violate(
+            name,
+            f"job {key} was running on fenced node {fence.node} and was "
+            f"never requeued, failed, or finished", fence))
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Runners
 # ---------------------------------------------------------------------------
 

@@ -42,6 +42,7 @@ class WinJobSpec:
     script: Optional[str] = None  # .bat text run on the first allocated node
     tag: str = ""
     priority: int = PRIORITY_NORMAL
+    rerunnable: bool = True
 
 
 @dataclass
@@ -64,6 +65,12 @@ class WinHpcJob:
     allocation: Dict[str, int] = field(default_factory=dict)
     on_complete: Optional[Callable[["WinHpcJob"], None]] = None
     tag: str = ""
+    rerunnable: bool = True
+    #: node-failure recovery bookkeeping (see ``WinHpcScheduler.fence_node``)
+    restarts: int = 0
+    checkpointed_s: float = 0.0
+    lost_work_s: float = 0.0
+    interrupted_at: Optional[float] = None
 
     @property
     def required_cores_per_node(self) -> Optional[int]:

@@ -57,3 +57,13 @@ class WinNodeRecord:
     def mark_unreachable(self) -> None:
         self.state = WinNodeState.UNREACHABLE
         self.allocations.clear()
+
+    def mark_draining(self) -> None:
+        """Admin cordon: no new work, running allocations stay."""
+        if self.state is WinNodeState.ONLINE:
+            self.state = WinNodeState.DRAINING
+
+    def resume_online(self) -> None:
+        """Lift a cordon; no-op unless draining."""
+        if self.state is WinNodeState.DRAINING:
+            self.state = WinNodeState.ONLINE

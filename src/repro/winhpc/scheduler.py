@@ -12,7 +12,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import SchedulerError
 from repro.oslayer.shell import run_script
-from repro.simkernel import Interrupt, Simulator, Timeout
+from repro.simkernel import Event, Interrupt, Simulator, Timeout
 from repro.winhpc.job import WinHpcJob, WinJobSpec, WinJobState, WinJobUnit
 from repro.winhpc.nodestate import WinNodeRecord, WinNodeState
 
@@ -36,6 +36,13 @@ class WinHpcScheduler:
         self._node_os: Dict[str, object] = {}
         self._runners: Dict[int, object] = {}
         self._seq = 1
+        #: Optional :class:`repro.trace.Tracer` — set by the middleware.
+        self.tracer = None
+        #: node-failure recovery policy (middleware copies config here)
+        self.max_job_restarts = 3
+        self.checkpoint_interval_s: Optional[float] = None
+        self.requeues = 0
+        self.jobs_failed_on_fence = 0
         self.observers: List[Callable[[str, WinHpcJob], None]] = []
         #: node observers: fn(event_name, hostname) with events online/unreachable
         self.node_observers: List[Callable[[str, str], None]] = []
@@ -61,10 +68,17 @@ class WinHpcScheduler:
 
     def node_online(self, hostname: str, os_instance: object = None) -> None:
         record = self.node(hostname)
+        # a node that crashed and rebooted before the monitor fenced it
+        # comes back with its old allocations booked: recover them first
+        stranded = list(record.allocations)
         record.mark_online()
         self.mutation_epoch += 1
         if os_instance is not None:
             self._node_os[hostname] = os_instance
+        for job_id in stranded:
+            job = self.jobs.get(job_id)
+            if job is not None and job.state is WinJobState.RUNNING:
+                self._recover(job, cause="node returned after crash")
         for observer in self.node_observers:
             observer("online", hostname)
         self._try_schedule()
@@ -81,6 +95,136 @@ class WinHpcScheduler:
             runner = self._runners.get(job_id)
             if runner is not None:
                 runner.interrupt("node unreachable")
+
+    # -- node failure & recovery ---------------------------------------------
+
+    def node_crashed(self, hostname: str) -> None:
+        """Hard node death: freeze its jobs where they stand.
+
+        Same contract as ``PbsServer.node_crashed`` — the runners are
+        killed and each victim records when it stopped making progress;
+        the node record is untouched until the health monitor fences it.
+        """
+        record = self.nodes.get(hostname)
+        if record is None:
+            return
+        for job_id in list(record.allocations):
+            job = self.jobs.get(job_id)
+            if job is None or job.state is not WinJobState.RUNNING:
+                continue
+            if job.interrupted_at is None:
+                job.interrupted_at = self.sim.now
+            runner = self._runners.get(job_id)
+            if runner is not None and runner.alive:
+                runner.kill()
+
+    def fence_node(
+        self, hostname: str, cause: str = "node fenced"
+    ) -> Dict[str, List[int]]:
+        """The health monitor declared the node dead: evict and recover."""
+        out: Dict[str, List[int]] = {"requeued": [], "failed": []}
+        record = self.nodes.get(hostname)
+        if record is None:
+            return out
+        victims = list(record.allocations)
+        record.mark_unreachable()
+        self.mutation_epoch += 1
+        self._node_os.pop(hostname, None)
+        for observer in self.node_observers:
+            observer("unreachable", hostname)
+        for job_id in victims:
+            job = self.jobs.get(job_id)
+            if job is None or job.state is not WinJobState.RUNNING:
+                continue
+            out[self._recover(job, cause)].append(job_id)
+        self._try_schedule()
+        return out
+
+    def cordon_node(self, hostname: str) -> None:
+        """Admin drain: no new placements, running jobs keep running."""
+        self.node(hostname).mark_draining()
+        self.mutation_epoch += 1
+
+    def uncordon_node(self, hostname: str) -> None:
+        self.node(hostname).resume_online()
+        self.mutation_epoch += 1
+        self._try_schedule()
+
+    def _recover(self, job: WinHpcJob, cause: str) -> str:
+        """Evict one running job from a dead node: requeue or fail.
+
+        Mirror of ``PbsServer._recover`` (minus walltime accounting —
+        HPC Pack jobs here carry no walltime budget).
+        """
+        runner = self._runners.pop(job.job_id, None)
+        if runner is not None and runner.alive:
+            runner.kill()
+        stopped_at = (
+            job.interrupted_at if job.interrupted_at is not None else self.sim.now
+        )
+        started_at = job.start_time if job.start_time is not None else stopped_at
+        elapsed = max(0.0, stopped_at - started_at)
+        job.interrupted_at = None
+        interval = self.checkpoint_interval_s
+        durable = 0.0
+        if interval is not None and interval > 0:
+            durable = (elapsed // interval) * interval
+            if job.runtime_s is not None:
+                durable = min(
+                    durable, max(0.0, job.runtime_s - job.checkpointed_s)
+                )
+        for hostname in list(job.allocation):
+            self.nodes[hostname].release(job.job_id)
+        job.allocation.clear()
+        self._running.pop(job.job_id, None)
+        self.mutation_epoch += 1
+        if job.rerunnable and job.restarts < self.max_job_restarts:
+            job.restarts += 1
+            job.checkpointed_s += durable
+            job.lost_work_s += elapsed - durable
+            job.state = WinJobState.QUEUED
+            job.start_time = None
+            self._requeue(job)
+            self.requeues += 1
+            self._trace_job(
+                "job.requeued", job, cause=cause,
+                restarts=job.restarts,
+                lost_s=elapsed - durable,
+                checkpointed_s=job.checkpointed_s,
+            )
+            self._notify("requeued", job)
+            return "requeued"
+        job.lost_work_s += elapsed
+        self.jobs_failed_on_fence += 1
+        suffix = (
+            "not rerunnable" if not job.rerunnable else "retry budget exhausted"
+        )
+        self._finish(job, WinJobState.FAILED, cause=f"{cause} ({suffix})")
+        return "failed"
+
+    def _requeue(self, job: WinHpcJob) -> None:
+        """Reinsert by (priority, submission order): a requeued job rejoins
+        where its original position puts it, not at the back of its band."""
+        position = 0
+        for index in range(len(self.queue_order) - 1, -1, -1):
+            other = self.jobs[self.queue_order[index]]
+            if other.priority > job.priority or (
+                other.priority == job.priority and other.job_id < job.job_id
+            ):
+                position = index + 1
+                break
+        self.queue_order.insert(position, job.job_id)
+
+    def _node_alive(self, job: WinHpcJob) -> bool:
+        """Whether the node manager hosting *job* is still actually running.
+
+        Unit setups that call ``node_online`` without an OS model have no
+        handle; they count as alive (nothing there can crash silently).
+        """
+        os_instance = self._node_os.get(next(iter(job.allocation)))
+        if os_instance is None:
+            return True
+        return getattr(os_instance, "running", True)
 
     # -- submission -----------------------------------------------------------
 
@@ -112,6 +256,7 @@ class WinHpcScheduler:
             script=spec.script,
             tag=spec.tag,
             priority=spec.priority,
+            rerunnable=spec.rerunnable,
         )
         self._seq += 1
         self.jobs[job.job_id] = job
@@ -127,6 +272,7 @@ class WinHpcScheduler:
                 break
         self.queue_order.insert(position, job.job_id)
         self.mutation_epoch += 1
+        self._trace_job("job.submitted", job, amount=job.amount)
         self._notify("submitted", job)
         self._try_schedule()
         return job
@@ -212,11 +358,17 @@ class WinHpcScheduler:
         self._runners[job.job_id] = self.sim.spawn(
             self._run(job), name=f"winjob:{job.job_id}"
         )
+        self._trace_job("job.started", job, hosts=list(placement))
         self._notify("started", job)
 
     def _run(self, job: WinHpcJob):
         final = WinJobState.FINISHED
         try:
+            if not self._node_alive(job):
+                # placed onto a node that silently died: nothing runs
+                # there, nothing ever completes — park until the health
+                # monitor fences the node and this runner is killed
+                yield Event(self.sim)
             if job.script is not None:
                 first_host = next(iter(job.allocation))
                 os_instance = self._node_os.get(first_host)
@@ -230,12 +382,15 @@ class WinHpcScheduler:
                     if not result.ok:
                         final = WinJobState.FAILED
             else:
-                yield Timeout(job.runtime_s if job.runtime_s is not None else 0.0)
+                remaining = job.runtime_s if job.runtime_s is not None else 0.0
+                yield Timeout(max(0.0, remaining - job.checkpointed_s))
         except Interrupt:
             final = WinJobState.CANCELED
         self._finish(job, final)
 
-    def _finish(self, job: WinHpcJob, state: WinJobState) -> None:
+    def _finish(
+        self, job: WinHpcJob, state: WinJobState, cause: Optional[str] = None
+    ) -> None:
         job.state = state
         job.end_time = self.sim.now
         # Release only the nodes the job was placed on — the historical
@@ -245,10 +400,22 @@ class WinHpcScheduler:
         self._running.pop(job.job_id, None)
         self.mutation_epoch += 1
         self._runners.pop(job.job_id, None)
+        if cause is not None:
+            self._trace_job("job.failed", job, cause=cause, state=state.value)
+        else:
+            self._trace_job("job.finished", job, state=state.value)
         if job.on_complete is not None:
             job.on_complete(job)
         self._notify("finished", job)
         self._try_schedule()
+
+    def _trace_job(self, kind: str, job: WinHpcJob,
+                   cause: Optional[str] = None, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                kind, cause=cause, scheduler="winhpc", jobid=job.job_id,
+                **fields,
+            )
 
     def _notify(self, event: str, job: WinHpcJob) -> None:
         for observer in self.observers:

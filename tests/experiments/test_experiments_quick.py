@@ -84,6 +84,14 @@ def test_e7_shapes_quick():
     assert h["eager_cuts_windows_wait_vs_fcfs"]
 
 
+def test_e9_nodefail_quick():
+    h = run_quick("e9").headline
+    assert h["node_failures_recovered"]
+    assert h["nodefail:v2"]["node_fences"] >= 1
+    assert h["nodefail:v2"]["node_recoveries"] >= 1
+    assert h["nodefail:v2"]["jobs_done"] == 3
+
+
 def test_e10_shapes_quick():
     h = run_quick("e10").headline
     assert h["sizes"] == [32, 64]
@@ -91,6 +99,19 @@ def test_e10_shapes_quick():
     assert h["trace_invariants_ok"]
     # workload scales with the cluster: the larger run submits more jobs
     assert h["per_size"]["64"]["jobs"] > h["per_size"]["32"]["jobs"]
+
+
+def test_e14_survival_quick():
+    h = run_quick("e14").headline
+    assert h["sizes"] == [32, 64]
+    # the resilience layer's acceptance criteria, at CI size
+    assert h["storm_hit_running_jobs"]
+    assert h["rerunnable_survival_is_100pct"]
+    assert h["fenced_nodes_rejoined"]
+    assert h["every_size_fenced_and_recovered"]
+    assert h["checkpointing_reduces_lost_work"]
+    assert h["deterministic"] and h["trace_deterministic"]
+    assert h["trace_invariants_ok"]
 
 
 def test_experiments_deterministic():

@@ -1,0 +1,188 @@
+"""PBS node-failure recovery: fence, requeue, checkpoint, cordon.
+
+The server-side half of the resilience layer, exercised without the
+middleware: fences arrive as direct ``fence_node`` calls (in production
+the heartbeat monitor makes them).
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.pbs import JobSpec, JobState, PbsServer
+from repro.pbs.nodes import PbsNodeState
+from repro.pbs.server import KILLED_EXIT_STATUS, WALLTIME_EXIT_STATUS
+from repro.simkernel import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def server(sim):
+    srv = PbsServer(sim)
+    for i in range(1, 5):
+        srv.create_node(f"enode{i:02d}", np=4)
+        srv.node_up(f"enode{i:02d}")
+    return srv
+
+
+def spec(name="job", nodes=1, ppn=4, runtime=100.0, **kw):
+    return JobSpec(name=name, nodes=nodes, ppn=ppn, runtime_s=runtime, **kw)
+
+
+def host_of(job):
+    return job.exec_slots[0][0].split(".")[0]
+
+
+def test_fence_requeues_and_job_completes_elsewhere(sim, server):
+    jobid = server.qsub(spec(runtime=100.0))
+    job = server.jobs[jobid]
+    victim_host = host_of(job)
+    sim.run(until=30.0)
+
+    out = server.fence_node(victim_host)
+    assert out == {"requeued": [jobid], "failed": []}
+    # rescheduled instantly: three other nodes are free
+    assert job.state is JobState.RUNNING
+    assert host_of(job) != victim_host
+    assert job.restarts == 1
+    assert job.lost_work_s == 30.0  # no checkpointing: all progress lost
+    assert server.node(victim_host).state is PbsNodeState.DOWN
+    assert server.requeues == 1
+
+    sim.run()
+    assert job.state is JobState.COMPLETED and job.exit_status == 0
+    # full rerun from scratch: 30s lost + 100s clean run
+    assert job.end_time == 130.0
+
+
+def test_non_rerunnable_job_fails_terminally(sim, server):
+    """Satellite regression: `#PBS -r n` jobs must never be requeued."""
+    jobid = server.qsub(spec(runtime=100.0, rerunnable=False))
+    job = server.jobs[jobid]
+    sim.run(until=10.0)
+    out = server.fence_node(host_of(job))
+    assert out == {"requeued": [], "failed": [jobid]}
+    assert job.state is JobState.COMPLETED
+    assert job.exit_status == KILLED_EXIT_STATUS
+    assert job.restarts == 0
+    assert server.jobs_failed_on_fence == 1
+    sim.run()
+    assert job.state is JobState.COMPLETED  # nothing resurrects it
+
+
+def test_retry_budget_exhaustion_fails_the_job(sim, server):
+    server.max_job_restarts = 1
+    jobid = server.qsub(spec(runtime=100.0))
+    job = server.jobs[jobid]
+    sim.run(until=10.0)
+    assert server.fence_node(host_of(job))["requeued"] == [jobid]
+    sim.run(until=20.0)
+    assert job.state is JobState.RUNNING
+    out = server.fence_node(host_of(job))
+    assert out["failed"] == [jobid]
+    assert job.exit_status == KILLED_EXIT_STATUS
+    assert job.restarts == 1
+
+
+def test_checkpoint_interval_credits_durable_work(sim, server):
+    server.checkpoint_interval_s = 30.0
+    jobid = server.qsub(spec(runtime=100.0))
+    job = server.jobs[jobid]
+    sim.run(until=70.0)
+    server.fence_node(host_of(job))
+    # floor(70/30)*30 = 60s durable, 10s lost
+    assert job.checkpointed_s == 60.0
+    assert job.lost_work_s == 10.0
+    sim.run()
+    assert job.state is JobState.COMPLETED and job.exit_status == 0
+    # second run only needs the remaining 40s: 70 + 40
+    assert job.end_time == 110.0
+
+
+def test_checkpoint_credit_capped_at_runtime(sim, server):
+    server.checkpoint_interval_s = 30.0
+    jobid = server.qsub(spec(runtime=100.0))
+    job = server.jobs[jobid]
+    sim.run(until=70.0)
+    server.fence_node(host_of(job))
+    sim.run(until=80.0)
+    assert job.state is JobState.RUNNING
+    # 5s into the rerun: nothing new checkpointed, total credit still 60
+    server.fence_node(host_of(job))
+    assert job.checkpointed_s == 60.0
+    sim.run()
+    assert job.state is JobState.COMPLETED and job.exit_status == 0
+
+
+def test_requeue_charges_walltime_and_cancels_old_timer(sim, server):
+    """The first run's walltime timer must die with the eviction, and
+    elapsed time still counts against the budget on restart."""
+    jobid = server.qsub(spec(runtime=100.0, walltime_s=120.0))
+    job = server.jobs[jobid]
+    sim.run(until=50.0)
+    server.fence_node(host_of(job))
+    assert job.walltime_used_s == 50.0
+    sim.run()
+    # remaining budget 70s < 100s rerun: killed at its walltime limit —
+    # and at 50 + 70 = 120, not at the stale first-run deadline
+    assert job.exit_status == WALLTIME_EXIT_STATUS
+    assert job.end_time == 120.0
+
+
+def test_fast_rejoin_recovers_stranded_jobs(sim, server):
+    """A node that crashes and reboots before the fence: its mom reports
+    in with old jobs still booked; node_up must reconcile them."""
+    jobid = server.qsub(spec(runtime=100.0))
+    job = server.jobs[jobid]
+    victim_host = host_of(job)
+    sim.run(until=10.0)
+    # kill the runner the way the crash hook does, then rejoin directly
+    server.node_crashed(victim_host)
+    assert job.interrupted_at == 10.0
+    sim.run(until=40.0)
+    server.node_up(victim_host)
+    assert job.restarts == 1
+    assert job.state is JobState.RUNNING
+    # lost work is charged to the crash instant, not the rejoin instant
+    assert job.lost_work_s == 10.0
+    sim.run()
+    assert job.state is JobState.COMPLETED and job.exit_status == 0
+
+
+def test_cordon_drains_without_killing(sim, server):
+    jobid = server.qsub(spec(runtime=100.0))
+    job = server.jobs[jobid]
+    host = host_of(job)
+    server.cordon_node(host)
+    assert server.node(host).state is PbsNodeState.OFFLINE
+    assert job.state is JobState.RUNNING  # running work is untouched
+    # a fresh 4-core job cannot land on the cordoned node
+    other = server.jobs[server.qsub(spec(name="j2", nodes=4, ppn=4))]
+    assert other.state is JobState.QUEUED
+    server.uncordon_node(host)
+    sim.run()
+    assert job.state is JobState.COMPLETED
+    assert other.state is JobState.COMPLETED
+
+
+def test_job_on_silently_dead_mom_parks_until_fenced(sim):
+    """Zombie-START guard: a job placed onto a node whose OS died
+    silently must not fake progress — it parks until the fence."""
+    server = PbsServer(sim)
+    server.create_node("enode01", np=4)
+    dead_os = SimpleNamespace(running=False)
+    server.node_up("enode01", os_instance=dead_os)
+    jobid = server.qsub(spec(runtime=100.0))
+    job = server.jobs[jobid]
+    assert job.state is JobState.RUNNING
+    sim.run(until=1000.0)
+    assert job.state is JobState.RUNNING  # parked, not completing
+    out = server.fence_node("enode01")
+    assert out["requeued"] == [jobid]
+    assert job.state is JobState.QUEUED  # no nodes left: waits
+    sim.run()
+    assert job.state is JobState.QUEUED

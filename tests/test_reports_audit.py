@@ -1,0 +1,96 @@
+"""Audit of the committed benchmark-report artifacts.
+
+``benchmarks/reports/`` is a curated set of rendered experiment outputs;
+every ``.txt`` there must have a live producer bench, and transient
+timing baselines (``BENCH_*.json``) must never be committed.  This
+guards against the failure mode where an experiment is removed or
+renamed and its stale report keeps shipping — reviewers then cite
+numbers nothing can regenerate.
+"""
+
+import pathlib
+import subprocess
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+REPORTS_DIR = BENCH_DIR / "reports"
+
+#: report stem -> the bench module that regenerates it (via ``publish``)
+PRODUCERS = {
+    "e1": "bench_e1_switch_latency.py",
+    "e2": "bench_e2_utilization.py",
+    "e3": "bench_e3_bistable_speedup.py",
+    "e4": "bench_e4_admin_effort.py",
+    "e5": "bench_e5_control_cycle.py",
+    "e6": "bench_e6_mdcs_case_study.py",
+    "e7": "bench_e7_policy_ablation.py",
+    "e8": "bench_e8_boot_resilience.py",
+    "e9": "bench_e9_chaos.py",
+    "e10": "bench_e10_scale.py",
+    "e14": "bench_e14_survival.py",
+    "f2_f4": "bench_fig2_3_4_grub.py",
+    "f5_f8": "bench_fig5_8_detector.py",
+    "f9_f10_f14_f15": "bench_fig9_15_disks.py",
+    "t1": "bench_table1_catalog.py",
+}
+
+
+def report_stems():
+    return sorted(p.stem for p in REPORTS_DIR.glob("*.txt"))
+
+
+def test_every_report_has_a_live_producer():
+    stems = report_stems()
+    assert stems, "no reports found — wrong repo layout?"
+    orphans = [s for s in stems if s not in PRODUCERS]
+    assert orphans == [], (
+        f"reports with no producing bench: {orphans} — either add the "
+        f"bench to PRODUCERS or delete the stale artifact"
+    )
+    for stem in stems:
+        assert (BENCH_DIR / PRODUCERS[stem]).is_file(), (
+            f"{stem}.txt claims producer {PRODUCERS[stem]}, which is gone"
+        )
+
+
+def test_experiment_reports_match_the_registry():
+    """Every ``e<N>`` report corresponds to a registered experiment, so
+    ``repro-experiments run <id>`` can reproduce its numbers."""
+    for stem in report_stems():
+        if stem.startswith("e") and stem[1:].isdigit():
+            assert stem in ALL_EXPERIMENTS, (
+                f"report {stem}.txt has no experiment {stem!r} in the "
+                f"registry"
+            )
+
+
+def test_no_stale_e11_artifact():
+    """There has never been an E11: a report for it can only be cruft
+    (e.g. a renamed experiment leaving its old artifact behind)."""
+    assert not (REPORTS_DIR / "e11.txt").exists()
+    assert "e11" not in ALL_EXPERIMENTS
+
+
+def test_no_timing_baselines_committed():
+    """``BENCH_*.json`` are per-machine scratch, regenerated on every
+    bench run — they must stay untracked."""
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "benchmarks/reports"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        pytest.skip("git unavailable")
+    if out.returncode != 0:  # pragma: no cover - e.g. sdist checkout
+        pytest.skip("not a git checkout")
+    tracked = out.stdout.split()
+    baselines = [p for p in tracked if pathlib.Path(p).name.startswith("BENCH_")]
+    assert baselines == []
+    for path in tracked:
+        assert pathlib.Path(path).suffix == ".txt", (
+            f"unexpected non-report artifact tracked: {path}"
+        )
