@@ -1,0 +1,24 @@
+"""E11 — energy accounting: always-on vs power-aware at equal utilisation."""
+
+from repro.experiments.e11_energy import run
+
+
+def test_bench_e11_energy(run_once, publish):
+    output = run_once(run, seed=0)
+    publish(output)
+    h = output.headline
+    assert h["power_aware_saves_energy"]
+    assert h["equal_utilisation"]
+    assert h["elastic_engaged"]
+    assert h["burst_pool_engaged"]
+    assert h["no_spurious_fences"]
+    assert h["deterministic"] and h["trace_deterministic"]
+    assert h["trace_invariants_ok"]
+    # the headline number: joules per completed job-hour must drop at
+    # every size, and the largest fleet must still show real savings
+    for row in h["per_size"].values():
+        assert (
+            row["power-aware"]["joules_per_job_hour"]
+            < row["always-on"]["joules_per_job_hour"]
+        )
+    assert h["savings_pct_by_size"][str(max(h["sizes"]))] > 10.0

@@ -48,6 +48,10 @@ class HybridSystem(ComparableSystem):
         self.middleware.deploy()
         self.middleware.wait_for_nodes()
 
+    def finalize(self) -> None:
+        # delegate so the energy meter closes its integrals too
+        self.middleware.finalize()
+
     def submit(self, job: WorkloadJob) -> None:
         try:
             if job.os_name == "linux":

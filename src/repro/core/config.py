@@ -57,6 +57,23 @@ class MiddlewareConfig:
     #: checkpoint model: work in whole multiples of this interval survives
     #: an eviction (``None`` = no checkpointing, everything is lost)
     checkpoint_interval_s: Optional[float] = None
+    #: energy accounting: meter every node's watt draw into the trace
+    energy_metering: bool = True
+    #: power-aware elasticity: suspend idle nodes, wake/provision under
+    #: queue pressure (the tri-stable extension; off = the paper's
+    #: always-on bi-stable cluster)
+    elastic_enabled: bool = False
+    elastic_cycle_s: float = 5 * MINUTE
+    #: consecutive surplus evaluations required before suspending anything
+    elastic_hysteresis_cycles: int = 2
+    #: never suspend below this many UP nodes per OS side
+    elastic_min_online: int = 1
+    #: idle nodes to keep warm beyond the floor before suspending the rest
+    elastic_idle_surplus: int = 1
+    #: per-evaluation action budget (suspends or wakes per side per cycle)
+    elastic_max_actions: int = 2
+    #: trailing nodes that start DEPROVISIONED (the cloud-burst pool)
+    burst_nodes: int = 0
 
     def __post_init__(self) -> None:
         if self.version not in (1, 2):
@@ -91,3 +108,17 @@ class MiddlewareConfig:
             raise ConfigurationError(
                 "checkpoint_interval_s must be positive when set"
             )
+        if self.elastic_cycle_s <= 0:
+            raise ConfigurationError("elastic_cycle_s must be positive")
+        if self.elastic_hysteresis_cycles < 1:
+            raise ConfigurationError(
+                "elastic_hysteresis_cycles must be >= 1"
+            )
+        if self.elastic_min_online < 0:
+            raise ConfigurationError("elastic_min_online must be >= 0")
+        if self.elastic_idle_surplus < 0:
+            raise ConfigurationError("elastic_idle_surplus must be >= 0")
+        if self.elastic_max_actions < 1:
+            raise ConfigurationError("elastic_max_actions must be >= 1")
+        if self.burst_nodes < 0:
+            raise ConfigurationError("burst_nodes must be >= 0")

@@ -33,7 +33,9 @@ from repro.core.controller_v1 import ControllerV1, redirect_menu_lst
 from repro.core.controller_v2 import ControllerV2
 from repro.core.bootcontrol import register_bootcontrol
 from repro.core.daemon import DualBootDaemons, start_daemons
+from repro.core.elasticity import ElasticityManager, ElasticityPolicy
 from repro.core.policy import FcfsPolicy, SwitchPolicy
+from repro.energy import EnergyMeter
 from repro.errors import MiddlewareError
 from repro.hardware.cluster import Cluster, build_cluster
 from repro.hardware.node import ComputeNode, NodeState
@@ -88,6 +90,8 @@ class DualBootOscar:
         self.daemons: Optional[DualBootDaemons] = None
         self.menu_spec: Optional[DualBootMenuSpec] = None
         self.health: Optional[HeartbeatMonitor] = None
+        self.energy: Optional[EnergyMeter] = None
+        self.elasticity: Optional[ElasticityManager] = None
         self._deployed = False
 
     # -- convenient accessors -------------------------------------------------
@@ -120,6 +124,13 @@ class DualBootOscar:
             raise MiddlewareError(
                 "initial_windows_nodes exceeds the cluster size"
             )
+        if (
+            config.initial_windows_nodes + config.burst_nodes
+            > len(self.cluster.compute_nodes)
+        ):
+            raise MiddlewareError(
+                "initial_windows_nodes + burst_nodes exceeds the cluster size"
+            )
 
         self._deploy_windows_side()
         image = self._deploy_linux_side()
@@ -139,6 +150,8 @@ class DualBootOscar:
                 tracer=self.tracer,
             )
             self.health.on_fence.append(self._on_node_fenced)
+        if config.energy_metering:
+            self.energy = EnergyMeter(self.sim, tracer=self.tracer)
         for node in self.cluster.compute_nodes:
             node.provisioners.append(self._dualboot_provisioner)
             node.tracer = self.tracer
@@ -146,8 +159,13 @@ class DualBootOscar:
             if self.health is not None:
                 self.health.watch(node)
             self.recorder.attach_node(node)
+            if self.energy is not None:
+                self.energy.attach_node(node)
         self.recorder.attach_pbs(self.pbs)
         self.recorder.attach_winhpc(self.winhpc)
+        if self.energy is not None:
+            self.energy.attach_pbs(self.pbs)
+            self.energy.attach_winhpc(self.winhpc)
         self._deployed = True
         if self.health is not None:
             self.health.start()
@@ -172,6 +190,26 @@ class DualBootOscar:
             rng=self.cluster.rng,
             tracer=self.tracer,
         )
+        if config.elastic_enabled:
+            self.elasticity = ElasticityManager(
+                sim=self.sim,
+                cluster=self.cluster,
+                pbs=self.pbs,
+                winhpc=self.winhpc,
+                policy=ElasticityPolicy(
+                    min_online=config.elastic_min_online,
+                    hysteresis_cycles=config.elastic_hysteresis_cycles,
+                    idle_surplus=config.elastic_idle_surplus,
+                    max_actions_per_cycle=config.elastic_max_actions,
+                ),
+                cycle_s=config.elastic_cycle_s,
+                orders=self.daemons.orders,
+                health=self.health,
+                linux_comm=self.daemons.linux,
+                controller=self.controller,
+                tracer=self.tracer,
+            )
+            self.elasticity.start()
 
     def _deploy_windows_side(self) -> None:
         """InstallShare patch + Windows on every node (the paper's order:
@@ -324,8 +362,17 @@ class DualBootOscar:
         With v2's single shared flag, a mixed initial split needs staging:
         flip the flag to Windows, start the Windows batch, let their boot
         resolution happen, flip back, start the rest.
+
+        The trailing ``burst_nodes`` machines never power on: they start
+        DEPROVISIONED — cloud-burst capacity the elasticity manager can
+        provision under queue pressure, drawing zero watts until then.
         """
         nodes = self.cluster.compute_nodes
+        burst = self.config.burst_nodes
+        if burst:
+            for node in nodes[len(nodes) - burst:]:
+                node.deprovision()
+            nodes = nodes[: len(nodes) - burst]
         split = self.config.initial_windows_nodes
         single_flag = self.config.version == 2 and not self.config.v2_per_mac_menus
         if single_flag and 0 < split:
@@ -343,12 +390,19 @@ class DualBootOscar:
     # -- steady-state operation ---------------------------------------------------
 
     def wait_for_nodes(self, timeout_s: float = 15 * MINUTE) -> None:
-        """Advance the simulation until every node is UP (or fail loudly)."""
+        """Advance the simulation until every node is UP (or fail loudly).
+
+        Nodes deliberately parked (SUSPENDED) or never provisioned
+        (DEPROVISIONED) are resting states, not boot stragglers — they
+        don't count against the deadline.
+        """
         deadline = self.sim.now + timeout_s
         self.sim.run(until=deadline)
         not_up = [
             n.name for n in self.cluster.compute_nodes
-            if n.state is not NodeState.UP
+            if n.state not in (
+                NodeState.UP, NodeState.SUSPENDED, NodeState.DEPROVISIONED
+            )
         ]
         if not_up:
             raise MiddlewareError(
@@ -398,6 +452,8 @@ class DualBootOscar:
     def finalize(self) -> None:
         """Close metric intervals at the current time (call before analysis)."""
         self.recorder.finalize(self.sim.now)
+        if self.energy is not None:
+            self.energy.finalize()
 
     def status_report(self) -> str:
         """An operator's one-screen view of the hybrid cluster."""

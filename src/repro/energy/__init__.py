@@ -1,0 +1,20 @@
+"""Energy accounting: per-node watt models integrated over sim time.
+
+The paper's clusters are always-on; the tri-stable extension makes power
+a managed resource, so this package gives every node a watt model
+(:class:`~repro.energy.model.PowerModel`) and integrates it over the
+power-state/busy-core history (:class:`~repro.energy.meter.EnergyMeter`)
+into joules.  The meter emits ``energy.state`` trace events on every
+watt change and ``energy.report`` totals at finalisation; the
+``energy-conserved`` trace invariant recomputes the integral from the
+events and fails the run if the reported joules disagree.
+"""
+
+from repro.energy.meter import EnergyMeter, NodeEnergyAccount
+from repro.energy.model import PowerModel
+
+__all__ = [
+    "EnergyMeter",
+    "NodeEnergyAccount",
+    "PowerModel",
+]

@@ -1,0 +1,67 @@
+"""Per-node power model: watts as a function of power state and load.
+
+The defaults describe the Eridani nodes (Core 2 Quad Q8200, 95 W TDP
+desktops): ~70 W idle at the wall, ~22 W extra per busy core (≈160 W
+flat out), ~120 W during boot/shutdown transients (disks spinning up,
+no frequency scaling yet), single-digit watts suspended-to-RAM or in
+soft-off standby, and nothing at all for a deprovisioned burst node —
+that is the entire point of the burst pool.
+
+The model is a frozen dataclass so experiments can swap hardware
+profiles without touching the meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.node import NodeState
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Watt curve for one node class.
+
+    ``node_watts`` is piecewise over the power state; only UP draws a
+    load-dependent amount (``idle_w + core_w × busy_cores``).
+    """
+
+    #: soft-off standby (PSU + BMC keep listening for wake)
+    off_w: float = 3.0
+    #: suspend-to-RAM (RAM refresh + NIC in wake-on-LAN mode)
+    suspended_w: float = 6.0
+    #: boot/shutdown transient (POST, disk spin-up, no governor yet)
+    booting_w: float = 120.0
+    #: OS up, zero busy cores
+    idle_w: float = 70.0
+    #: marginal draw per busy core
+    core_w: float = 22.0
+    #: the machine does not exist — burst capacity costs nothing parked
+    deprovisioned_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "off_w", "suspended_w", "booting_w", "idle_w", "core_w",
+            "deprovisioned_w",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"PowerModel.{name} must be >= 0, got {value}"
+                )
+
+    def node_watts(self, state: NodeState, busy_cores: int = 0) -> float:
+        """Instantaneous draw of one node in *state* with *busy_cores*."""
+        if state is NodeState.UP:
+            return self.idle_w + self.core_w * max(0, busy_cores)
+        if state is NodeState.SUSPENDED:
+            return self.suspended_w
+        if state is NodeState.DEPROVISIONED:
+            return self.deprovisioned_w
+        if state is NodeState.OFF:
+            return self.off_w
+        # BOOTING, SHUTTING_DOWN and FAILED all sit in the boot transient
+        # band: power is applied, fans are up, no governor is running — a
+        # bricked (FAILED) node burns watts until an admin intervenes.
+        return self.booting_w

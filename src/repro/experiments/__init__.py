@@ -96,5 +96,6 @@ ALL_EXPERIMENTS = {
     "e8": "repro.experiments.e8_resilience",
     "e9": "repro.experiments.e9_chaos",
     "e10": "repro.experiments.e10_scale",
+    "e11": "repro.experiments.e11_energy",
     "e14": "repro.experiments.e14_survival",
 }

@@ -18,7 +18,7 @@ from typing import List, Optional
 from repro.boot.chain import BootEnvironment
 from repro.errors import ConfigurationError
 from repro.hardware.nic import Nic, mac_for_index
-from repro.hardware.node import ComputeNode
+from repro.hardware.node import ComputeNode, NodeState
 from repro.hardware.power import RebootTimingModel
 from repro.hardware.specs import INTEL_Q8200, HardwareSpec
 from repro.netsvc.network import Host, Network
@@ -96,6 +96,20 @@ class Cluster:
 
     def failed_nodes(self) -> List[ComputeNode]:
         return [n for n in self.compute_nodes if n.failed]
+
+    def suspended_nodes(self) -> List[ComputeNode]:
+        """Compute nodes parked in suspend-to-RAM."""
+        return [
+            n for n in self.compute_nodes if n.state is NodeState.SUSPENDED
+        ]
+
+    def deprovisioned_nodes(self) -> List[ComputeNode]:
+        """Compute nodes released back to the burst pool."""
+        return [
+            n
+            for n in self.compute_nodes
+            if n.state is NodeState.DEPROVISIONED
+        ]
 
 
 def node_hostname(index: int) -> str:

@@ -33,10 +33,22 @@ from repro.storage.disk import Disk
 
 
 class NodeState(enum.Enum):
+    """Power states of a compute node.
+
+    The paper's machines are bi-stable (Linux/Windows, always powered);
+    the tri-stable extension adds two more resting states: SUSPENDED
+    (suspend-to-RAM — the OS image survives, services stop in an orderly
+    way, and resume costs seconds instead of a boot) and DEPROVISIONED
+    (the machine does not exist — the cloud-burst pool; provisioning
+    pays an allocation lead time plus a full cold boot).
+    """
+
     OFF = "off"
     BOOTING = "booting"
     UP = "up"
     SHUTTING_DOWN = "shutting_down"
+    SUSPENDED = "suspended"
+    DEPROVISIONED = "deprovisioned"
     FAILED = "failed"
 
 
@@ -97,6 +109,8 @@ class ComputeNode:
 
         self.state = NodeState.OFF
         self.current_os: Optional[OSInstance] = None
+        #: the RAM-resident OS image while SUSPENDED (lost on power cut)
+        self._suspended_os: Optional[OSInstance] = None
         self.boot_records: List[BootRecord] = []
         self.os_factories: Dict[str, OsFactory] = {
             "linux": _default_linux_factory,
@@ -109,6 +123,11 @@ class ComputeNode:
         self.on_os_up: List[Callable[["ComputeNode", OSInstance], None]] = []
         self.on_os_down: List[Callable[["ComputeNode", OSInstance], None]] = []
         self.on_crash: List[Callable[["ComputeNode"], None]] = []
+        #: observers of every power-state transition (node, old, new) —
+        #: the energy meter integrates watts over these spans
+        self.on_power_state: List[
+            Callable[["ComputeNode", NodeState, NodeState], None]
+        ] = []
         self._reboot_requested = False
         self._power_process = None
         #: Optional :class:`repro.trace.Tracer` — set by the middleware.
@@ -137,6 +156,13 @@ class ComputeNode:
     def failed(self) -> bool:
         return self.state is NodeState.FAILED
 
+    @property
+    def suspended_os_name(self) -> Optional[str]:
+        """Kind of the RAM-resident OS while SUSPENDED, or ``None``."""
+        return (
+            self._suspended_os.kind if self._suspended_os is not None else None
+        )
+
     # -- power control -----------------------------------------------------
 
     def power_on(self):
@@ -162,25 +188,99 @@ class ComputeNode:
     def power_off(self) -> None:
         """Hard power cut (admin action, e.g. before a bare-metal reimage).
 
-        Only valid when the node is UP, OFF or FAILED — cutting power mid
-        boot would leave a dangling boot process.
+        Only valid when the node is UP, SUSPENDED, OFF or FAILED —
+        cutting power mid boot would leave a dangling boot process, and a
+        DEPROVISIONED machine has no power to cut.  Cutting power while
+        SUSPENDED discards the RAM-resident OS image.
         """
-        if self.state is NodeState.BOOTING or self.state is NodeState.SHUTTING_DOWN:
+        if self.state in (
+            NodeState.BOOTING, NodeState.SHUTTING_DOWN, NodeState.DEPROVISIONED
+        ):
             raise MiddlewareError(
                 f"{self.name}: power_off while {self.state.value}"
             )
         self._shutdown_os()
-        self.state = NodeState.OFF
+        self._suspended_os = None
+        self._set_state(NodeState.OFF)
+
+    def suspend(self):
+        """Suspend-to-RAM; returns the suspend :class:`~repro.simkernel.Process`.
+
+        The OS services stop in an *orderly* way first (agents deregister,
+        scheduler membership exits), so the heartbeat monitor treats the
+        downtime as planned — a suspended node is never fenced.  The OS
+        image stays resident in RAM: :meth:`resume` restarts it in
+        seconds, without a boot chain.
+        """
+        if self.state is not NodeState.UP:
+            raise MiddlewareError(
+                f"{self.name}: suspend in state {self.state.value}"
+            )
+        self._power_process = self.sim.spawn(
+            self._suspend(), name=f"suspend:{self.name}"
+        )
+        return self._power_process
+
+    def resume(self):
+        """Wake from suspend-to-RAM; returns the resume process."""
+        if self.state is not NodeState.SUSPENDED:
+            raise MiddlewareError(
+                f"{self.name}: resume in state {self.state.value}"
+            )
+        self._power_process = self.sim.spawn(
+            self._resume(), name=f"resume:{self.name}"
+        )
+        return self._power_process
+
+    def deprovision(self) -> None:
+        """Release the machine entirely (the cloud instance is deleted).
+
+        Legal from any resting state: UP (orderly shutdown first),
+        SUSPENDED (the RAM image is discarded), OFF or FAILED.  The
+        transition itself is an instant control-plane action; getting the
+        capacity *back* costs :meth:`provision`'s allocation lead time
+        plus a full cold boot.
+        """
+        if self.state in (NodeState.BOOTING, NodeState.SHUTTING_DOWN):
+            raise MiddlewareError(
+                f"{self.name}: deprovision while {self.state.value}"
+            )
+        if self.state is NodeState.DEPROVISIONED:
+            raise MiddlewareError(f"{self.name}: already deprovisioned")
+        self._shutdown_os()
+        self._suspended_os = None
+        self._set_state(NodeState.DEPROVISIONED)
+        self._trace("power.deprovisioned")
+
+    def provision(self):
+        """Allocate a deprovisioned machine and cold-boot it.
+
+        Returns the provisioning process; the node pays a deterministic
+        per-node allocation delay (``power:{node}:provision`` stream) and
+        then runs the ordinary boot chain.
+        """
+        if self.state is not NodeState.DEPROVISIONED:
+            raise MiddlewareError(
+                f"{self.name}: provision in state {self.state.value}"
+            )
+        self._power_process = self.sim.spawn(
+            self._provision(), name=f"provision:{self.name}"
+        )
+        return self._power_process
 
     def crash(self, cause: str = "power lost") -> bool:
         """Instant, unclean death: power is gone *now*, mid-whatever.
 
-        Unlike :meth:`power_off` this is legal in any state and performs no
-        orderly shutdown — OS services never run their stop hooks, so the
-        schedulers are *not* told the node left (that is the health
-        monitor's job).  Returns ``False`` when the node was already dark.
+        Unlike :meth:`power_off` this is legal in any powered state and
+        performs no orderly shutdown — OS services never run their stop
+        hooks, so the schedulers are *not* told the node left (that is
+        the health monitor's job).  A SUSPENDED victim loses its RAM
+        image.  Returns ``False`` when the node was already dark (OFF,
+        FAILED) or does not exist (DEPROVISIONED).
         """
-        if self.state is NodeState.OFF or self.state is NodeState.FAILED:
+        if self.state in (
+            NodeState.OFF, NodeState.FAILED, NodeState.DEPROVISIONED
+        ):
             return False
         if self._power_process is not None and self._power_process.alive:
             self._power_process.kill()
@@ -198,7 +298,8 @@ class ComputeNode:
             for callback in self.on_os_down:
                 callback(self, os_instance)
             self.current_os = None
-        self.state = NodeState.OFF
+        self._suspended_os = None  # RAM does not survive a power cut
+        self._set_state(NodeState.OFF)
         self._reboot_requested = False
         self._trace("node.crash", cause=cause)
         for crash_callback in self.on_crash:
@@ -228,6 +329,53 @@ class ComputeNode:
         if self.tracer is not None:
             self.tracer.emit(kind, node=self.name, cause=cause, **fields)
 
+    def _set_state(self, new_state: NodeState) -> None:
+        """Every power-state transition funnels through here so observers
+        (the energy meter, tests) see a complete, ordered history."""
+        old_state = self.state
+        if old_state is new_state:
+            return
+        self.state = new_state
+        for callback in self.on_power_state:
+            callback(self, old_state, new_state)
+
+    def _suspend(self):
+        self._set_state(NodeState.SHUTTING_DOWN)
+        os_instance = self.current_os
+        self._shutdown_os()  # orderly: stop hooks fire, agents deregister
+        self._suspended_os = os_instance
+        duration_s = self.timing.draw_suspend(self.rng, self.name)
+        yield Timeout(duration_s)
+        self._set_state(NodeState.SUSPENDED)
+        self._trace(
+            "power.suspended",
+            os=os_instance.kind if os_instance is not None else None,
+            duration_s=duration_s,
+        )
+
+    def _resume(self):
+        os_instance = self._suspended_os
+        self._set_state(NodeState.BOOTING)
+        duration_s = self.timing.draw_resume(self.rng, self.name)
+        yield Timeout(duration_s)
+        self._suspended_os = None
+        self.current_os = os_instance
+        self._set_state(NodeState.UP)
+        if os_instance is not None:
+            os_instance.start()
+            self._trace(
+                "power.resumed", os=os_instance.kind, duration_s=duration_s
+            )
+            for callback in self.on_os_up:
+                callback(self, os_instance)
+
+    def _provision(self):
+        duration_s = self.timing.draw_provision(self.rng, self.name)
+        self._set_state(NodeState.BOOTING)
+        self._trace("power.provisioning", duration_s=duration_s)
+        yield Timeout(duration_s)
+        yield from self._boot(cold=True)
+
     def _shutdown_os(self) -> None:
         if self.current_os is not None:
             os_instance = self.current_os
@@ -238,14 +386,14 @@ class ComputeNode:
             self.current_os = None
 
     def _reboot(self):
-        self.state = NodeState.SHUTTING_DOWN
+        self._set_state(NodeState.SHUTTING_DOWN)
         self._shutdown_os()
         yield from self._boot(cold=False)
 
     def _boot(self, cold: bool):
         record = BootRecord(started_at=self.sim.now, cold=cold)
         self.boot_records.append(record)
-        self.state = NodeState.BOOTING
+        self._set_state(NodeState.BOOTING)
         self._trace(
             "boot.start", cold=cold, boot_index=len(self.boot_records) - 1
         )
@@ -255,7 +403,7 @@ class ComputeNode:
             # the hang happens after POST; charge that much wall clock
             phases = self.timing.draw(self.rng, self.name, "linux", cold=cold)
             yield Timeout(phases.shutdown_s + phases.post_s)
-            self.state = NodeState.FAILED
+            self._set_state(NodeState.FAILED)
             record.finished_at = self.sim.now
             record.error = str(exc)
             self._trace("boot.failed", cause=str(exc))
@@ -266,7 +414,7 @@ class ComputeNode:
 
         if outcome.os_name == "installer":
             if self.installer_handler is None:
-                self.state = NodeState.FAILED
+                self._set_state(NodeState.FAILED)
                 record.finished_at = self.sim.now
                 record.error = "installer boot with no deployment in progress"
                 self._trace("boot.failed", cause=record.error)
@@ -293,7 +441,7 @@ class ComputeNode:
 
         factory = self.os_factories.get(outcome.os_name)
         if factory is None:
-            self.state = NodeState.FAILED
+            self._set_state(NodeState.FAILED)
             record.finished_at = self.sim.now
             record.error = f"no runtime factory for {outcome.os_name!r}"
             self._trace("boot.failed", cause=record.error)
@@ -301,7 +449,7 @@ class ComputeNode:
         try:
             os_instance = factory(self, outcome)
         except BootError as exc:
-            self.state = NodeState.FAILED
+            self._set_state(NodeState.FAILED)
             record.finished_at = self.sim.now
             record.error = str(exc)
             self._trace("boot.failed", cause=record.error)
@@ -312,7 +460,7 @@ class ComputeNode:
             provision(self, os_instance)
         self.current_os = os_instance
         os_instance.start()
-        self.state = NodeState.UP
+        self._set_state(NodeState.UP)
         record.finished_at = self.sim.now
         self._trace("node.os_up", os=outcome.os_name)
         self._trace(

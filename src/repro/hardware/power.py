@@ -34,7 +34,14 @@ class RebootPhases:
 
 @dataclass(frozen=True)
 class RebootTimingModel:
-    """Distribution parameters for each reboot phase (mean, std, min, max)."""
+    """Distribution parameters for each reboot phase (mean, std, min, max).
+
+    Beyond the paper's reboot cycle, the tri-stable extension adds three
+    power transitions: suspend-to-RAM entry, suspend-to-RAM exit (both
+    order-of-seconds — the whole point of suspending instead of powering
+    off), and cloud-style provisioning lead time (the slurm-gcp burst
+    pattern: allocating the instance before POST even starts).
+    """
 
     shutdown: tuple = (35.0, 10.0, 15.0, 75.0)
     post: tuple = (30.0, 8.0, 15.0, 60.0)
@@ -43,6 +50,12 @@ class RebootTimingModel:
     windows_boot: tuple = (150.0, 30.0, 80.0, 260.0)
     #: PXE adds DHCP+TFTP time before the loader runs
     pxe_overhead: tuple = (8.0, 3.0, 3.0, 20.0)
+    #: suspend-to-RAM entry (freeze + devices down)
+    suspend: tuple = (8.0, 2.0, 4.0, 16.0)
+    #: suspend-to-RAM exit (devices up + thaw) — much cheaper than a boot
+    resume: tuple = (12.0, 3.0, 6.0, 25.0)
+    #: provisioning lead time before a cold boot (instance allocation)
+    provision: tuple = (90.0, 25.0, 45.0, 180.0)
 
     def _draw(self, rng: RngStreams, stream: str, params: tuple) -> float:
         mean, std, low, high = params
@@ -75,3 +88,17 @@ class RebootTimingModel:
             loader_s=loader,
             os_boot_s=self._draw(rng, f"{prefix}:os", os_params),
         )
+
+    # -- tri-stable transitions (suspend / resume / provision) ---------------
+
+    def draw_suspend(self, rng: RngStreams, node_name: str) -> float:
+        """Seconds to enter suspend-to-RAM."""
+        return self._draw(rng, f"power:{node_name}:suspend", self.suspend)
+
+    def draw_resume(self, rng: RngStreams, node_name: str) -> float:
+        """Seconds to exit suspend-to-RAM (no boot chain involved)."""
+        return self._draw(rng, f"power:{node_name}:resume", self.resume)
+
+    def draw_provision(self, rng: RngStreams, node_name: str) -> float:
+        """Provisioning lead time before a deprovisioned node can POST."""
+        return self._draw(rng, f"power:{node_name}:provision", self.provision)

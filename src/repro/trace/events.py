@@ -59,6 +59,19 @@ NODE_OS_DOWN = "node.os_down"
 #: Hard node failure (power lost without an orderly shutdown).
 NODE_CRASH = "node.crash"
 
+#: Tri-stable power transitions (suspend-to-RAM and cloud-burst pool).
+POWER_SUSPENDED = "power.suspended"
+POWER_RESUMED = "power.resumed"
+POWER_PROVISIONING = "power.provisioning"
+POWER_DEPROVISIONED = "power.deprovisioned"
+
+#: Energy accounting (per-node watt changes + end-of-run joule reports).
+ENERGY_STATE = "energy.state"
+ENERGY_REPORT = "energy.report"
+
+#: Power-aware elasticity decisions (suspend/resume/provision/hold).
+ELASTIC_DECISION = "elastic.decision"
+
 #: Job lifecycle on either scheduler (``fields["scheduler"]`` says which).
 JOB_SUBMITTED = "job.submitted"
 JOB_STARTED = "job.started"

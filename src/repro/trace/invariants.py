@@ -351,6 +351,69 @@ def check_no_job_lost(events: Sequence[TraceEvent]) -> List[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# 9. Reported joules equal the integral of the emitted watt history.
+# ---------------------------------------------------------------------------
+
+@invariant("energy-conserved")
+def check_energy_conserved(events: Sequence[TraceEvent]) -> List[Violation]:
+    """``energy.report`` totals must equal the piecewise-constant integral
+    of the ``energy.state`` watt history.
+
+    The meter emits a watt level per node whenever it changes; between
+    events the draw is constant, so the expected joules at report time
+    are an exact sum of rectangles.  A meter that drops spans, double
+    counts, or scales (the "leaky meter" fixture) disagrees with its own
+    event history and fails here.  The cluster-level report (no ``node``)
+    must additionally equal the sum of the per-node reports.
+    """
+    name = "energy-conserved"
+    out: List[Violation] = []
+    last: Dict[str, tuple] = {}       # node -> (time, watts)
+    acc: Dict[str, float] = {}        # node -> joules integrated so far
+    node_reported: Dict[str, float] = {}
+
+    def integrate_to(node: str, t: float) -> float:
+        state = last.get(node)
+        if state is not None:
+            t0, watts = state
+            if t > t0:
+                acc[node] = acc.get(node, 0.0) + watts * (t - t0)
+            last[node] = (t, watts)
+        return acc.get(node, 0.0)
+
+    for e in events:
+        if e.kind == ev.ENERGY_STATE:
+            if e.node is None:
+                out.append(_violate(
+                    name, "energy.state event without a node", e))
+                continue
+            watts = float(e.fields.get("watts", 0.0))
+            integrate_to(e.node, e.time)
+            last[e.node] = (e.time, watts)
+        elif e.kind == ev.ENERGY_REPORT:
+            if e.node is not None:
+                expected = integrate_to(e.node, e.time)
+                reported = float(e.fields.get("joules", 0.0))
+                node_reported[e.node] = reported
+                tolerance = max(1e-6, 1e-9 * abs(expected))
+                if abs(reported - expected) > tolerance:
+                    out.append(_violate(
+                        name,
+                        f"{e.node} reported {reported:.6f} J but its watt "
+                        f"history integrates to {expected:.6f} J", e))
+            else:
+                reported_total = float(e.fields.get("total_joules", 0.0))
+                expected_total = sum(node_reported.values())
+                tolerance = max(1e-6, 1e-9 * abs(expected_total))
+                if abs(reported_total - expected_total) > tolerance:
+                    out.append(_violate(
+                        name,
+                        f"cluster reported {reported_total:.6f} J but the "
+                        f"per-node reports sum to {expected_total:.6f} J", e))
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Runners
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,131 @@
+"""Properties of the energy accounting chain.
+
+Two layers are pinned here.  First, the ``energy-conserved`` oracle
+itself: over arbitrary synthetic watt histories a correct report always
+passes, the verdict survives a JSONL round trip and any event-order-
+preserving interleave of the per-node streams, and a tampered total
+always fails.  Second, the system end to end: the smallest power-aware
+E11 configuration run twice with one seed yields byte-identical traces
+and joule totals.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace import Tracer, check_events, check_jsonl
+from repro.trace.events import ENERGY_REPORT, ENERGY_STATE, TraceEvent
+
+INVARIANT = ["energy-conserved"]
+
+watt_levels = st.floats(
+    min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False,
+)
+gaps = st.floats(
+    min_value=0.01, max_value=1000.0, allow_nan=False, allow_infinity=False,
+)
+
+#: per node: the initial watt level, then (gap, new level) steps
+histories = st.lists(
+    st.tuples(watt_levels, st.lists(st.tuples(gaps, watt_levels), max_size=8)),
+    min_size=1, max_size=3,
+)
+
+
+def _build_trace(node_histories):
+    """Synthesize a per-node watt history plus *exact* reports.
+
+    Joules are accumulated with the same arithmetic the invariant uses
+    (one ``watts × span`` product per rectangle, summed in time order),
+    so a correct meter matches to the last bit — the invariant's
+    tolerance only has to absorb genuine accounting bugs.
+    """
+    events = []
+    joules = {}
+    ends = []
+    for index, (initial_watts, steps) in enumerate(node_histories):
+        node = f"enode{index + 1:02d}"
+        t, watts = 0.0, initial_watts
+        events.append((t, node, ENERGY_STATE, {"watts": watts}))
+        total = 0.0
+        for gap, new_watts in steps:
+            total += watts * gap
+            t += gap
+            watts = new_watts
+            events.append((t, node, ENERGY_STATE, {"watts": watts}))
+        joules[node] = total
+        ends.append(t)
+    end = max(ends)
+    for node in joules:
+        # integrate the final level out to the common report time
+        last_t = max(t for t, n, _, _ in events if n == node)
+        last_w = [f["watts"] for t, n, _, f in events
+                  if n == node and t == last_t][-1]
+        joules[node] += last_w * (end - last_t)
+        events.append((end, node, ENERGY_REPORT, {"joules": joules[node]}))
+    events.append(
+        (end, None, ENERGY_REPORT, {"total_joules": sum(joules.values())})
+    )
+    return events
+
+
+def _materialize(rows, order=None):
+    ordered = sorted(rows, key=order) if order is not None else rows
+    return [
+        TraceEvent(seq=i, time=t, kind=kind, node=node, fields=fields)
+        for i, (t, node, kind, fields) in enumerate(ordered)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories)
+def test_exact_reports_always_pass(node_histories):
+    events = _materialize(_build_trace(node_histories))
+    assert check_events(events, names=INVARIANT) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(histories)
+def test_verdict_survives_jsonl_round_trip(node_histories):
+    events = _materialize(_build_trace(node_histories))
+    jsonl = "".join(e.to_json() + "\n" for e in events)
+    assert check_jsonl(jsonl, names=INVARIANT) == []
+    replayed = Tracer.load_jsonl(jsonl)
+    assert [e.to_json() for e in replayed] == [e.to_json() for e in events]
+
+
+@settings(max_examples=40, deadline=None)
+@given(histories)
+def test_totals_invariant_under_order_preserving_interleave(node_histories):
+    rows = _build_trace(node_histories)
+    # two different merges of the per-node streams; each keeps every
+    # node's own events in time order, which is all the meter guarantees
+    by_time = _materialize(rows, order=lambda r: (r[0], r[1] or "~"))
+    by_node = _materialize(rows, order=lambda r: (r[1] or "~", r[0]))
+    assert check_events(by_time, names=INVARIANT) == []
+    assert check_events(by_node, names=INVARIANT) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(histories, st.floats(min_value=1.0, max_value=1e6))
+def test_tampered_report_always_fails(node_histories, delta):
+    rows = _build_trace(node_histories)
+    tampered = []
+    for t, node, kind, fields in rows:
+        if kind == ENERGY_REPORT and node is not None:
+            fields = {"joules": fields["joules"] + delta}
+        tampered.append((t, node, kind, fields))
+    violations = check_events(_materialize(tampered), names=INVARIANT)
+    assert violations, f"a {delta} J overstatement passed energy-conserved"
+
+
+def test_e11_same_seed_twice_is_byte_identical():
+    """The determinism sweep at E11's own scale: one power-aware run of
+    the smallest configuration, twice, must agree to the byte."""
+    from repro.experiments.e11_energy import _energy_run
+    from repro.simkernel import HOUR
+
+    first_metrics, first_tracer = _energy_run(8, 0, 2 * HOUR, True)
+    second_metrics, second_tracer = _energy_run(8, 0, 2 * HOUR, True)
+    assert first_metrics == second_metrics
+    assert first_tracer.export_jsonl() == second_tracer.export_jsonl()
+    assert first_metrics["suspends"] >= 1
+    assert check_events(first_tracer.events, names=INVARIANT) == []

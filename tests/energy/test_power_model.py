@@ -1,0 +1,57 @@
+"""Watt-model units: the piecewise curve behind every joule in E11."""
+
+import dataclasses
+
+import pytest
+
+from repro.energy import PowerModel
+from repro.errors import ConfigurationError
+from repro.hardware import NodeState
+
+
+def test_default_watts_per_state():
+    model = PowerModel()
+    assert model.node_watts(NodeState.OFF) == 3.0
+    assert model.node_watts(NodeState.SUSPENDED) == 6.0
+    assert model.node_watts(NodeState.DEPROVISIONED) == 0.0
+    assert model.node_watts(NodeState.UP) == 70.0
+
+
+def test_transient_states_share_the_boot_band():
+    model = PowerModel()
+    for state in (NodeState.BOOTING, NodeState.SHUTTING_DOWN,
+                  NodeState.FAILED):
+        assert model.node_watts(state) == 120.0
+
+
+def test_up_watts_scale_linearly_with_busy_cores():
+    model = PowerModel()
+    assert model.node_watts(NodeState.UP, busy_cores=1) == 92.0
+    assert model.node_watts(NodeState.UP, busy_cores=4) == 158.0
+    # load only matters while UP — a booting node has no governor
+    assert model.node_watts(NodeState.BOOTING, busy_cores=4) == 120.0
+
+
+def test_negative_busy_cores_clamp_to_idle():
+    assert PowerModel().node_watts(NodeState.UP, busy_cores=-3) == 70.0
+
+
+def test_custom_profile():
+    model = PowerModel(idle_w=50.0, core_w=10.0, suspended_w=2.0)
+    assert model.node_watts(NodeState.UP, busy_cores=2) == 70.0
+    assert model.node_watts(NodeState.SUSPENDED) == 2.0
+
+
+@pytest.mark.parametrize("field", [
+    "off_w", "suspended_w", "booting_w", "idle_w", "core_w",
+    "deprovisioned_w",
+])
+def test_negative_watts_rejected(field):
+    with pytest.raises(ConfigurationError):
+        PowerModel(**{field: -1.0})
+
+
+def test_model_is_frozen():
+    model = PowerModel()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        model.idle_w = 999.0  # type: ignore[misc]

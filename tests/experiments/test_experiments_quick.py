@@ -101,6 +101,21 @@ def test_e10_shapes_quick():
     assert h["per_size"]["64"]["jobs"] > h["per_size"]["32"]["jobs"]
 
 
+def test_e11_energy_quick():
+    h = run_quick("e11").headline
+    assert h["sizes"] == [8, 16]
+    # the energy layer's acceptance criteria, at CI size
+    assert h["power_aware_saves_energy"]
+    assert h["equal_utilisation"]
+    assert h["elastic_engaged"]
+    assert h["burst_pool_engaged"]
+    assert h["no_spurious_fences"]
+    assert h["deterministic"] and h["trace_deterministic"]
+    assert h["trace_invariants_ok"]
+    for size in h["savings_pct_by_size"]:
+        assert h["savings_pct_by_size"][size] > 5.0
+
+
 def test_e14_survival_quick():
     h = run_quick("e14").headline
     assert h["sizes"] == [32, 64]

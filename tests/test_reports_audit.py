@@ -8,6 +8,7 @@ renamed and its stale report keeps shipping — reviewers then cite
 numbers nothing can regenerate.
 """
 
+import json
 import pathlib
 import subprocess
 
@@ -31,6 +32,7 @@ PRODUCERS = {
     "e8": "bench_e8_boot_resilience.py",
     "e9": "bench_e9_chaos.py",
     "e10": "bench_e10_scale.py",
+    "e11": "bench_e11_energy.py",
     "e14": "bench_e14_survival.py",
     "f2_f4": "bench_fig2_3_4_grub.py",
     "f5_f8": "bench_fig5_8_detector.py",
@@ -68,11 +70,33 @@ def test_experiment_reports_match_the_registry():
             )
 
 
-def test_no_stale_e11_artifact():
-    """There has never been an E11: a report for it can only be cruft
-    (e.g. a renamed experiment leaving its old artifact behind)."""
-    assert not (REPORTS_DIR / "e11.txt").exists()
-    assert "e11" not in ALL_EXPERIMENTS
+def test_every_bench_baseline_has_a_producing_bench():
+    """Any ``BENCH_test_<name>.json`` on disk must correspond to a live
+    ``def test_<name>`` in some ``benchmarks/*.py``.
+
+    This is the check whose absence let a stale
+    ``BENCH_test_bench_e11_energy.json`` rot in the tree for several PRs
+    after the bench that once wrote it was abandoned: baselines are
+    per-machine scratch, and one nothing can regenerate is pure cruft.
+    """
+    bench_sources = "\n".join(
+        path.read_text() for path in BENCH_DIR.glob("bench_*.py")
+    )
+    orphans = []
+    for baseline in REPORTS_DIR.glob("BENCH_*.json"):
+        # prefer the baseline's own record of its producer (it carries
+        # the original node name, so parametrized benches resolve too)
+        try:
+            node_name = json.loads(baseline.read_text())["bench"]
+        except (OSError, ValueError, KeyError):
+            node_name = baseline.stem[len("BENCH_"):]
+        test_fn = node_name.split("[", 1)[0]
+        if f"def {test_fn}(" not in bench_sources:
+            orphans.append(baseline.name)
+    assert orphans == [], (
+        f"timing baselines with no producing bench: {orphans} — delete "
+        f"them (they can never be regenerated)"
+    )
 
 
 def test_no_timing_baselines_committed():

@@ -18,7 +18,7 @@ from repro.trace import check_events
 
 SEED = 3
 
-# the simulation experiments (e1..e10, e14); the figure/table
+# the simulation experiments (e1..e11, e14); the figure/table
 # reproductions in the registry are pure artefact generators and attach
 # no traces
 SIMULATION_EXPERIMENTS = sorted(
@@ -33,7 +33,7 @@ def _run(experiment_id):
 
 def test_battery_covers_all_simulation_experiments():
     assert SIMULATION_EXPERIMENTS == sorted(
-        [f"e{i}" for i in range(1, 11)] + ["e14"]
+        [f"e{i}" for i in range(1, 12)] + ["e14"]
     )
 
 
