@@ -25,12 +25,28 @@ from repro.analysis.config import (
     SUBSTRATE_PACKAGES,
 )
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.registry import Rule, RuleContext, all_rules, register, rule_ids
-from repro.analysis.runner import LintReport, lint_paths, lint_source, module_name_for
+from repro.analysis.registry import (
+    FlowRule,
+    Rule,
+    RuleContext,
+    all_rules,
+    flow_rules,
+    register,
+    rule_ids,
+)
+from repro.analysis.runner import (
+    LintReport,
+    build_project,
+    flow_rule_ids,
+    lint_paths,
+    lint_source,
+    module_name_for,
+)
 
 __all__ = [
     "DEFAULT_CONFIG",
     "Finding",
+    "FlowRule",
     "LintConfig",
     "LintReport",
     "Rule",
@@ -39,6 +55,9 @@ __all__ = [
     "SUBSTRATE_PACKAGES",
     "Severity",
     "all_rules",
+    "build_project",
+    "flow_rule_ids",
+    "flow_rules",
     "lint_paths",
     "lint_source",
     "module_name_for",

@@ -132,6 +132,27 @@ def default_config() -> LintConfig:
         # Suppression-comment hygiene is not scopeable: always an error.
         "SUP001": RulePolicy(default=error),
         "SUP002": RulePolicy(default=error),
+        # RNG-stream ownership (flow): error everywhere — a leaked handle
+        # couples draw sequences no matter which layer leaked it.
+        "DET006": RulePolicy(default=error),
+        # Interprocedural wall-clock taint (flow): error everywhere; the
+        # engine only reports *definite* source-to-sink flows.
+        "DET007": RulePolicy(default=error),
+        # Epoch-cache safety (flow): error everywhere a mutation_epoch
+        # cache exists — the pattern itself opts the function in.
+        "PERF002": RulePolicy(default=error),
+        # Trace coverage (flow): scoped to the audited control-plane
+        # classes; host-side and bookkeeping classes mutate counters
+        # without trace obligations.
+        "TRC002": RulePolicy(
+            default=Severity.OFF,
+            overrides={
+                "repro.pbs.server": error,
+                "repro.winhpc.scheduler": error,
+                "repro.health": error,
+                "repro.core.elasticity": error,
+            },
+        ),
         # Hot-path sorted() scans: error only in the modules the scale
         # path indexed (docs/PERFORMANCE.md); elsewhere a sort is not
         # per-cycle work and stays unguarded.

@@ -1,0 +1,142 @@
+"""The committed findings baseline — reprolint's ratchet.
+
+A baseline entry grandfathers a *specific* pre-existing finding: the
+``(rule, normalized path, message)`` triple plus how many times it
+occurs.  Matching findings are subtracted from a run; anything left
+over is new and fails ``--strict``.  The ratchet works the other way
+too: a baseline entry that matches nothing is *stale* and surfaces as a
+``BASE001`` finding, so the file can only shrink as debts are paid —
+it never quietly accumulates dead weight.
+
+Paths are normalized by anchoring at the first well-known tree segment
+(``src``/``benchmarks``/``examples``/``tests``) with ``/`` separators,
+so the same file matches whether the lint ran from the repo root or on
+an absolute path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+#: path components a baseline path is anchored at (first match wins)
+_ANCHORS = ("src", "benchmarks", "examples", "tests")
+
+#: Catalogue entry for the ratchet check (implemented in the runner, not
+#: as a Rule subclass), mirrored into ``--rules`` and the docs self-test.
+BASELINE_RULES: Dict[str, str] = {
+    "BASE001": "baseline entry matches no current finding (debt paid — delete it)",
+}
+
+BaselineKey = Tuple[str, str, str]
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered finding (possibly occurring several times)."""
+
+    rule: str
+    path: str
+    message: str
+    count: int = 1
+    why: str = ""
+
+    @property
+    def key(self) -> BaselineKey:
+        return (self.rule, self.path, self.message)
+
+
+def normalize_path(path: str) -> str:
+    parts = [p for p in path.replace("\\", "/").split("/") if p not in ("", ".")]
+    for index, part in enumerate(parts):
+        if part in _ANCHORS:
+            return "/".join(parts[index:])
+    return "/".join(parts)
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    return (finding.rule, normalize_path(finding.path), finding.message)
+
+
+def load_baseline(text: str) -> List[BaselineEntry]:
+    """Parse the committed baseline file; raises ``ValueError`` on shape
+    errors so a corrupted baseline fails loudly, not as a silent ratchet
+    bypass."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise ValueError("baseline: expected an object with version 1")
+    raw = payload.get("findings")
+    if not isinstance(raw, list):
+        raise ValueError("baseline: 'findings' must be a list")
+    entries: List[BaselineEntry] = []
+    for item in raw:
+        if not isinstance(item, dict):
+            raise ValueError("baseline: each finding must be an object")
+        try:
+            entry = BaselineEntry(
+                rule=str(item["rule"]),
+                path=normalize_path(str(item["path"])),
+                message=str(item["message"]),
+                count=int(item.get("count", 1)),
+                why=str(item.get("why", "")),
+            )
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise ValueError(f"baseline: finding missing key {exc}") from exc
+        if entry.count < 1:
+            raise ValueError("baseline: count must be >= 1")
+        entries.append(entry)
+    return entries
+
+
+def match_baseline(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """Subtract baselined findings from a run.
+
+    Returns ``(new_findings, stale_entries)``: findings not covered by
+    the baseline, and entries whose budget was not fully consumed (the
+    debt has been paid — the entry must be deleted).
+    """
+    budget: Dict[BaselineKey, int] = {}
+    for entry in entries:
+        budget[entry.key] = budget.get(entry.key, 0) + entry.count
+    remaining: List[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            remaining.append(finding)
+    stale: List[BaselineEntry] = []
+    seen_stale: set = set()
+    for entry in entries:
+        if budget.get(entry.key, 0) > 0 and entry.key not in seen_stale:
+            seen_stale.add(entry.key)
+            stale.append(entry)
+    return remaining, stale
+
+
+def render_baseline(findings: Sequence[Finding], why: str = "") -> str:
+    """Serialize current findings as a fresh baseline file."""
+    grouped: Dict[BaselineKey, int] = {}
+    for finding in findings:
+        key = finding_key(finding)
+        grouped[key] = grouped.get(key, 0) + 1
+    items = []
+    for (rule, path, message), count in sorted(grouped.items()):
+        item: Dict[str, object] = {
+            "count": count,
+            "message": message,
+            "path": path,
+            "rule": rule,
+        }
+        if why:
+            item["why"] = why
+        items.append(item)
+    return json.dumps(
+        {"findings": items, "version": 1}, indent=2, sort_keys=True
+    ) + "\n"

@@ -1,0 +1,398 @@
+"""A small forward taint engine over the call graph (powers DET007).
+
+The analysis is a classic two-level fixpoint:
+
+* **locally** each function gets a flow-insensitive cause map: every
+  local name maps to a set of *causes* — the marker ``"*"`` ("definitely
+  derived from a taint source") and/or parameter names ("tainted iff
+  that parameter is").  Assignments are iterated until stable so chains
+  like ``t = time.time(); stamp = round(t)`` resolve in one analysis.
+* **globally** per-function summaries (does it return taint? which
+  params flow to its return? which params reach a sink inside it?) are
+  iterated over a worklist seeded with every function; when a summary
+  changes, the callers re-analyze.  Call edges come from the shared
+  :class:`~repro.analysis.flow.callgraph.CallGraph` resolution, so taint
+  follows the same seams (typed receivers, self calls, observers) the
+  rest of the flow layer sees.
+
+Sinks are configured by the rule: trace ``.emit(...)`` payload
+arguments everywhere, and ``self.<attr> = value`` stores in modules the
+rule designates as simulation state.  A finding fires only on a
+*definite* cause (``"*"``) — a merely conditional path becomes the
+caller's problem via ``sink_params``, which is exactly what makes the
+analysis interprocedural instead of per-file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.flow.project import Project
+from repro.analysis.flow.symbols import FunctionInfo, TypeEnv, _expr_to_dotted
+
+#: builtins that return a value derived from their arguments — taint
+#: passes straight through them.
+_PASSTHROUGH_BUILTINS = frozenset({
+    "abs", "divmod", "float", "format", "int", "len", "max", "min",
+    "repr", "round", "sorted", "str", "sum",
+})
+
+#: the definite-taint marker in a cause set
+TAINTED = "*"
+
+
+@dataclass(frozen=True)
+class TaintSummary:
+    """What a function does with taint, independent of any call site."""
+
+    returns_tainted: bool = False
+    taint_through: FrozenSet[str] = frozenset()
+    sink_params: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One definite source→sink flow, anchored at the sink line."""
+
+    module: str
+    path: str
+    lineno: int
+    col: int
+    message: str
+
+
+def _body_statements(root: ast.AST) -> List[ast.stmt]:
+    """Every statement in *root*'s body, not descending into nested
+    function/class definitions (their returns are not our returns)."""
+    out: List[ast.stmt] = []
+    stack: List[ast.stmt] = list(getattr(root, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        out.append(node)
+        for field_name in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(node, field_name, []))
+        for handler in getattr(node, "handlers", []):
+            stack.extend(handler.body)
+    return out
+
+
+class TaintEngine:
+    """Forward taint from *sources* to emit/state sinks, project-wide."""
+
+    def __init__(
+        self,
+        project: Project,
+        sources: FrozenSet[str],
+        state_sink_modules: Callable[[str], bool],
+    ) -> None:
+        self.project = project
+        self.symbols = project.symbols
+        self.callgraph = project.callgraph
+        self.sources = sources
+        self.state_sink_modules = state_sink_modules
+        self.summaries: Dict[str, TaintSummary] = {}
+
+    # -- public entry --------------------------------------------------------
+
+    def run(self) -> List[TaintFinding]:
+        order = sorted(self.symbols.functions)
+        self.summaries = {qualname: TaintSummary() for qualname in order}
+        worklist = list(order)
+        rounds = 0
+        while worklist and rounds < 20_000:
+            qualname = worklist.pop(0)
+            rounds += 1
+            fn = self.symbols.functions[qualname]
+            summary, _ = self._analyze(fn, collect=False)
+            if summary != self.summaries[qualname]:
+                self.summaries[qualname] = summary
+                for edge in self.callgraph.callers_of(qualname):
+                    if edge.caller not in worklist:
+                        worklist.append(edge.caller)
+        findings: List[TaintFinding] = []
+        for qualname in order:
+            _, fn_findings = self._analyze(self.symbols.functions[qualname], collect=True)
+            findings.extend(fn_findings)
+        return sorted(findings, key=lambda f: (f.path, f.lineno, f.col, f.message))
+
+    # -- per-function analysis -----------------------------------------------
+
+    def _analyze(
+        self, fn: FunctionInfo, collect: bool
+    ) -> Tuple[TaintSummary, List[TaintFinding]]:
+        env = TypeEnv(self.symbols, fn)
+        causes: Dict[str, Set[str]] = {p: {p} for p in fn.params if p != "self"}
+        statements = _body_statements(fn.node)
+        for _ in range(3):
+            changed = False
+            for stmt in statements:
+                changed |= self._transfer(fn, env, stmt, causes)
+            if not changed:
+                break
+        return_causes: Set[str] = set()
+        for stmt in statements:
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                return_causes |= self._causes_of(fn, env, stmt.value, causes)
+        sink_causes: Set[str] = set()
+        findings: List[TaintFinding] = []
+        for stmt in statements:
+            self._check_sinks(fn, env, stmt, causes, sink_causes, findings, collect)
+        params = set(fn.params) - {"self"}
+        summary = TaintSummary(
+            returns_tainted=TAINTED in return_causes,
+            taint_through=frozenset(return_causes & params),
+            sink_params=frozenset(sink_causes & params),
+        )
+        return summary, findings
+
+    def _transfer(
+        self,
+        fn: FunctionInfo,
+        env: TypeEnv,
+        stmt: ast.stmt,
+        causes: Dict[str, Set[str]],
+    ) -> bool:
+        targets: List[Tuple[ast.expr, ast.expr]] = []
+        if isinstance(stmt, ast.Assign):
+            targets = [(t, stmt.value) for t in stmt.targets]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [(stmt.target, stmt.value)]
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [(stmt.target, stmt.value)]
+        elif isinstance(stmt, ast.For):
+            targets = [(stmt.target, stmt.iter)]
+        changed = False
+        for target, value in targets:
+            value_causes = self._causes_of(fn, env, value, causes)
+            for name in _target_names(target):
+                have = causes.setdefault(name, set())
+                if isinstance(stmt, ast.AugAssign):
+                    value_causes = value_causes | have
+                if not value_causes <= have:
+                    have |= value_causes
+                    changed = True
+        return changed
+
+    # -- cause computation ---------------------------------------------------
+
+    def _causes_of(
+        self,
+        fn: FunctionInfo,
+        env: TypeEnv,
+        expr: ast.expr,
+        causes: Dict[str, Set[str]],
+    ) -> Set[str]:
+        if isinstance(expr, ast.Name):
+            return set(causes.get(expr.id, ()))
+        if isinstance(expr, ast.Constant):
+            return set()
+        if isinstance(expr, ast.Call):
+            return self._call_causes(fn, env, expr, causes)
+        if isinstance(expr, ast.Lambda):
+            return set()
+        out: Set[str] = set()
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                out |= self._causes_of(fn, env, child, causes)
+        return out
+
+    def _call_causes(
+        self,
+        fn: FunctionInfo,
+        env: TypeEnv,
+        call: ast.Call,
+        causes: Dict[str, Set[str]],
+    ) -> Set[str]:
+        arg_causes = [self._causes_of(fn, env, a, causes) for a in call.args]
+        kw_causes = {
+            kw.arg: self._causes_of(fn, env, kw.value, causes)
+            for kw in call.keywords
+            if kw.arg is not None
+        }
+        dotted = self._resolved_dotted(fn.module, call.func)
+        if dotted is not None and dotted in self.sources:
+            return {TAINTED}
+        if (
+            isinstance(call.func, ast.Name)
+            and call.func.id in _PASSTHROUGH_BUILTINS
+        ):
+            out: Set[str] = set()
+            for c in arg_causes:
+                out |= c
+            return out
+        out = set()
+        for callee, offset in self._callees_of_call(fn, env, call):
+            summary = self.summaries.get(callee.qualname)
+            if summary is None:
+                continue
+            if summary.returns_tainted:
+                out.add(TAINTED)
+            for param, arg in self._map_args(callee, offset, call, arg_causes, kw_causes):
+                if param in summary.taint_through:
+                    out |= arg
+        return out
+
+    def _map_args(
+        self,
+        callee: FunctionInfo,
+        offset: int,
+        call: ast.Call,
+        arg_causes: Sequence[Set[str]],
+        kw_causes: Dict[str, Set[str]],
+    ) -> List[Tuple[str, Set[str]]]:
+        """(callee param name, argument causes) pairs for one call site."""
+        params = callee.params[offset:] if offset else list(callee.params)
+        if params and params[0] == "self":
+            params = params[1:]
+        out: List[Tuple[str, Set[str]]] = []
+        for index, arg in enumerate(arg_causes):
+            if index < len(params):
+                out.append((params[index], set(arg)))
+        for name, arg in kw_causes.items():
+            if name in callee.params:
+                out.append((name, set(arg)))
+        return out
+
+    def _callees_of_call(
+        self, fn: FunctionInfo, env: TypeEnv, call: ast.Call
+    ) -> List[Tuple[FunctionInfo, int]]:
+        """Resolved (callee, positional offset) pairs for a call node.
+
+        The offset is 1 when the receiver binds the first parameter
+        (``obj.method(a)`` → ``a`` is the *second* param).
+        """
+        out: List[Tuple[FunctionInfo, int]] = []
+        for edge in self.callgraph.resolve_call(fn, env, call.func, call.lineno):
+            callee = self.symbols.functions.get(edge.callee)
+            if callee is None:
+                continue
+            bound = (
+                callee.class_qualname is not None
+                and isinstance(call.func, ast.Attribute)
+                and callee.name != "__init__"
+            )
+            out.append((callee, 1 if bound else 0))
+        return out
+
+    def _resolved_dotted(self, module: str, func: ast.expr) -> Optional[str]:
+        dotted = _expr_to_dotted(func)
+        if dotted is None:
+            return None
+        scope = self.symbols.scopes.get(module)
+        if scope is None:
+            return dotted
+        head, _, tail = dotted.partition(".")
+        if head in scope.aliases:
+            return scope.aliases[head] + (f".{tail}" if tail else "")
+        return dotted
+
+    # -- sinks ---------------------------------------------------------------
+
+    def _check_sinks(
+        self,
+        fn: FunctionInfo,
+        env: TypeEnv,
+        stmt: ast.stmt,
+        causes: Dict[str, Set[str]],
+        sink_causes: Set[str],
+        findings: List[TaintFinding],
+        collect: bool,
+    ) -> None:
+        path = self._path_of(fn.module)
+        # trace payload sink: any argument of a .emit(...) call
+        for node in ast.walk(stmt):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+            ):
+                continue
+            payload = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in payload:
+                arg_causes = self._causes_of(fn, env, arg, causes)
+                sink_causes |= arg_causes
+                if collect and TAINTED in arg_causes:
+                    findings.append(TaintFinding(
+                        module=fn.module, path=path,
+                        lineno=node.lineno, col=node.col_offset,
+                        message=(
+                            "wall-clock/locale-derived value reaches a "
+                            "trace emit() payload"
+                        ),
+                    ))
+        # sim-state sink: self.<attr> = tainted, in designated modules
+        if self.state_sink_modules(fn.module) and isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            raw_targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = stmt.value
+            if value is not None:
+                value_causes = self._causes_of(fn, env, value, causes)
+                for target in raw_targets:
+                    store = target.value if isinstance(target, ast.Subscript) else target
+                    if (
+                        isinstance(store, ast.Attribute)
+                        and isinstance(store.value, ast.Name)
+                        and store.value.id == "self"
+                    ):
+                        sink_causes |= value_causes
+                        if collect and TAINTED in value_causes:
+                            findings.append(TaintFinding(
+                                module=fn.module, path=path,
+                                lineno=stmt.lineno, col=stmt.col_offset,
+                                message=(
+                                    "wall-clock/locale-derived value stored "
+                                    f"into simulation state self.{store.attr}"
+                                ),
+                            ))
+        # interprocedural sink: argument reaching a callee's sink param
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            arg_causes = [self._causes_of(fn, env, a, causes) for a in node.args]
+            kw_causes = {
+                kw.arg: self._causes_of(fn, env, kw.value, causes)
+                for kw in node.keywords
+                if kw.arg is not None
+            }
+            for callee, offset in self._callees_of_call(fn, env, node):
+                summary = self.summaries.get(callee.qualname)
+                if summary is None or not summary.sink_params:
+                    continue
+                for param, arg in self._map_args(
+                    callee, offset, node, arg_causes, kw_causes
+                ):
+                    if param not in summary.sink_params:
+                        continue
+                    sink_causes |= arg
+                    if collect and TAINTED in arg:
+                        findings.append(TaintFinding(
+                            module=fn.module, path=path,
+                            lineno=node.lineno, col=node.col_offset,
+                            message=(
+                                "wall-clock/locale-derived value passed to "
+                                f"{callee.qualname}() parameter '{param}', "
+                                "which reaches a sim-state/trace sink"
+                            ),
+                        ))
+
+    def _path_of(self, module: str) -> str:
+        sf = self.project.modules.get(module)
+        return sf.path if sf is not None else module
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for element in target.elts:
+            out.extend(_target_names(element))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []

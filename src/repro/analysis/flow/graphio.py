@@ -1,0 +1,105 @@
+"""Deterministic export of the import/call graphs (``--graph-out``).
+
+The JSON payload is the canonical artifact: sorted keys, sorted lists,
+two-space indent, trailing newline — byte-identical across runs on the
+same tree, asserted by the test battery.  ``graph_from_json`` +
+``graph_to_json`` round-trip exactly, so the file can be post-processed
+and re-emitted without spurious diffs.
+
+The DOT export is a module-granularity view for humans: solid edges are
+imports, dashed edges aggregate call edges between modules (labelled
+with the call-site count), dotted edges are observer dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.analysis.flow.project import Project
+
+
+def graph_payload(project: Project) -> Dict[str, Any]:
+    """The full graph artifact as plain sorted data."""
+    imports = project.imports
+    callgraph = project.callgraph
+    symbols = project.symbols
+    modules: List[Dict[str, Any]] = []
+    for sf in project.files:
+        modules.append({
+            "imports": imports.imports_of(sf.module),
+            "name": sf.module,
+            "path": sf.path,
+        })
+    calls: List[Dict[str, Any]] = [
+        {
+            "callee": edge.callee,
+            "caller": edge.caller,
+            "kind": edge.kind,
+            "line": edge.lineno,
+        }
+        for edge in callgraph.edges
+    ]
+    observers = {
+        attr: list(callgraph.observer_targets(attr))
+        for attr in sorted(callgraph.observers)
+    }
+    return {
+        "calls": calls,
+        "cycles": imports.cycles(),
+        "functions": sorted(symbols.functions),
+        "modules": modules,
+        "observers": observers,
+        "version": 1,
+    }
+
+
+def graph_to_json(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def graph_from_json(text: str) -> Dict[str, Any]:
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise ValueError("not a reprolint graph export (expected version 1)")
+    return payload
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def graph_to_dot(payload: Dict[str, Any]) -> str:
+    """Module-level DOT rendering of the JSON payload."""
+    lines: List[str] = ["digraph reprolint {", "  rankdir=LR;", "  node [shape=box];"]
+    module_names = {m["name"] for m in payload["modules"]}
+    module_of: Dict[str, str] = {}
+    for fn in payload["functions"]:
+        # function qualnames extend a module name; map via longest prefix
+        parts = fn.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in module_names:
+                module_of[fn] = candidate
+                break
+    for module in payload["modules"]:
+        lines.append(f"  {_quote(module['name'])};")
+    for module in payload["modules"]:
+        for target in module["imports"]:
+            lines.append(f"  {_quote(module['name'])} -> {_quote(target)};")
+    aggregated: Dict[Tuple[str, str, str], int] = {}
+    for call in payload["calls"]:
+        src = module_of.get(call["caller"])
+        dst = module_of.get(call["callee"])
+        if src is None or dst is None or src == dst:
+            continue
+        style = "dotted" if call["kind"] == "observer" else "dashed"
+        key = (src, dst, style)
+        aggregated[key] = aggregated.get(key, 0) + 1
+    for (src, dst, style), count in sorted(aggregated.items()):
+        lines.append(
+            f"  {_quote(src)} -> {_quote(dst)} "
+            f"[style={style}, label=\"{count}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

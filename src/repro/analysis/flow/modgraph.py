@@ -1,0 +1,134 @@
+"""The module import graph: which project module imports which.
+
+Edges only exist between modules that are both in the :class:`Project`;
+imports of the standard library or third-party packages are dropped.  A
+``from x import name`` where ``x.name`` is itself a project module (a
+submodule import) points at the submodule, otherwise at ``x``.
+Relative imports are resolved against the importing file's package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.analysis.flow.project import Project, SourceFile
+
+
+def _relative_base(sf: SourceFile, level: int, target: str | None) -> str | None:
+    parts = sf.module.split(".")
+    drop = level - 1 if sf.is_package else level
+    if drop > len(parts):
+        return None
+    base = parts[: len(parts) - drop] if drop else parts
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+class ImportGraph:
+    """Sorted adjacency over project modules."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        edges: Dict[str, Set[str]] = {sf.module: set() for sf in project.files}
+        for sf in project.files:
+            for target in self._targets(sf):
+                if target != sf.module and project.has_module(target):
+                    edges[sf.module].add(target)
+        self.edges: Dict[str, List[str]] = {
+            module: sorted(targets) for module, targets in sorted(edges.items())
+        }
+        reverse: Dict[str, Set[str]] = {module: set() for module in self.edges}
+        for module, targets in self.edges.items():
+            for target in targets:
+                reverse[target].add(module)
+        self.reverse: Dict[str, List[str]] = {
+            module: sorted(sources) for module, sources in sorted(reverse.items())
+        }
+
+    def _targets(self, sf: SourceFile) -> Set[str]:
+        out: Set[str] = set()
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    out.update(self._longest_known(alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                base = (
+                    _relative_base(sf, node.level, node.module)
+                    if node.level
+                    else node.module
+                )
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        out.update(self._longest_known(base))
+                        continue
+                    # `from pkg import sub` may name a submodule
+                    if self.project.has_module(f"{base}.{alias.name}"):
+                        out.add(f"{base}.{alias.name}")
+                    else:
+                        out.update(self._longest_known(base))
+        return out
+
+    def _longest_known(self, dotted: str) -> Set[str]:
+        split = self.project.longest_module_prefix(dotted)
+        return {split[0]} if split is not None else set()
+
+    def imports_of(self, module: str) -> List[str]:
+        return self.edges.get(module, [])
+
+    def importers_of(self, module: str) -> List[str]:
+        return self.reverse.get(module, [])
+
+    def cycles(self) -> List[List[str]]:
+        """Strongly connected components with more than one member (or a
+        self-loop), sorted — used by the graph export and tests."""
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        sccs: List[List[str]] = []
+
+        def strongconnect(root: str) -> None:
+            work: List[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    index[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                targets = self.edges.get(node, [])
+                for offset in range(child_index, len(targets)):
+                    target = targets[offset]
+                    if target not in index:
+                        work.append((node, offset + 1))
+                        work.append((target, 0))
+                        recurse = True
+                        break
+                    if target in on_stack:
+                        lowlink[node] = min(lowlink[node], index[target])
+                if recurse:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or node in self.edges.get(node, []):
+                        sccs.append(sorted(component))
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+        for module in self.edges:
+            if module not in index:
+                strongconnect(module)
+        return sorted(sccs)

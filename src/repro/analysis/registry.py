@@ -10,9 +10,12 @@ self-test all read from.
 from __future__ import annotations
 
 import ast
-from typing import Callable, Dict, Iterator, List, Type
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Type
 
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.project import Project
 
 
 class RuleContext:
@@ -49,6 +52,8 @@ class Rule:
     rationale: str = ""
     #: Severity used when the config has no override for the package.
     default_severity: Severity = Severity.ERROR
+    #: True for project-wide (graph-aware) rules; see :class:`FlowRule`.
+    is_flow: bool = False
 
     def check(self, ctx: RuleContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -60,6 +65,37 @@ class Rule:
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class FlowRule(Rule):
+    """Base class for project-wide rules built on ``repro.analysis.flow``.
+
+    A flow rule sees the whole :class:`~repro.analysis.flow.project.Project`
+    (import graph, symbol table, call graph) instead of one file, so it
+    only runs in :func:`~repro.analysis.runner.lint_paths` — per-file
+    :meth:`check` is a no-op.  Findings still carry a real path/line, so
+    the per-file suppression machinery applies to them unchanged.
+    """
+
+    is_flow: bool = True
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.default_severity,
+            path=path,
+            line=line,
+            col=col,
             message=message,
         )
 
@@ -82,6 +118,11 @@ def all_rules() -> List[Rule]:
     import repro.analysis.rules  # noqa: F401  (side effect: registration)
 
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def flow_rules() -> List[FlowRule]:
+    """Fresh instances of every registered flow rule, sorted by id."""
+    return [rule for rule in all_rules() if isinstance(rule, FlowRule)]
 
 
 def rule_ids() -> List[str]:

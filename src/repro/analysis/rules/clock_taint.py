@@ -1,0 +1,65 @@
+"""DET007 — interprocedural wall-clock/locale taint (graph-aware).
+
+DET001 flags the *call site* of ``time.time()``; it cannot see the
+value travel.  A host-side layer may legitimately read the wall clock
+(with a justified DET001 suppression — bench timers, log prefixes), but
+the moment that value flows into simulation state or a trace payload
+the byte-identical-trace guarantee is broken, possibly several calls
+away from the suppressed read.  This rule runs the forward taint
+engine (:mod:`repro.analysis.flow.engine`): sources are the wall-clock
+and locale reads, sinks are ``tracer.emit(...)`` payload arguments
+anywhere plus ``self.<attr> = ...`` stores outside the analysis layer
+itself, and per-function summaries carry the taint across calls,
+returns, and parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.engine import TaintEngine
+from repro.analysis.flow.project import Project
+from repro.analysis.registry import FlowRule, register
+from repro.analysis.rules.determinism import WALL_CLOCK_CALLS
+
+#: taint sources: every wall-clock *value* read (sleep blocks but
+#: returns None — nothing to propagate) plus the locale queries.
+TAINT_SOURCES = frozenset(
+    (WALL_CLOCK_CALLS - {"time.sleep"})
+    | {
+        "locale.getlocale",
+        "locale.getdefaultlocale",
+        "locale.getpreferredencoding",
+        "locale.nl_langinfo",
+    }
+)
+
+
+def _is_state_module(module: str) -> bool:
+    """Modules where a ``self.<attr>`` store counts as simulation state.
+
+    Everything except the analysis layer itself: substrate state feeds
+    traces directly, and host-side objects (experiments, metrics,
+    benchmark fixtures) feed byte-compared exports.
+    """
+    return not module.startswith("repro.analysis")
+
+
+@register
+class WallClockTaintRule(FlowRule):
+    id = "DET007"
+    summary = "wall-clock/locale value flows into sim state or a trace payload"
+    rationale = (
+        "A suppressed DET001 read is a promise that the value stays on "
+        "the host side.  This rule checks the promise interprocedurally: "
+        "a value derived from time.time()/locale must never be stored "
+        "into object state or emitted in a trace payload, or identical "
+        "runs produce different bytes.  Derive timestamps from "
+        "Simulator.now; keep bench timers out of exported payloads."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        engine = TaintEngine(project, TAINT_SOURCES, _is_state_module)
+        for hit in engine.run():
+            yield self.project_finding(hit.path, hit.lineno, hit.col, hit.message)

@@ -1,0 +1,303 @@
+"""PERF002 — epoch-cache safety (graph-aware).
+
+The ``mutation_epoch`` contract (docs/PERFORMANCE.md): a function may
+cache its result keyed on an object's ``mutation_epoch`` **iff** every
+piece of that object's state the function reads is guarded by the
+epoch — i.e. every method that writes the state also bumps the epoch.
+Otherwise an un-epoch'd write leaves the cache serving stale answers,
+and because the caches feed rendered text and detector reports, the
+staleness is byte-visible in traces.
+
+The rule finds each epoch-cache site (an assignment reading
+``<expr>.mutation_epoch`` plus a ``self.<attr> = (key..., value)``
+store in the same function), resolves the *epoch-source class* from the
+static type of ``<expr>``, then walks the cached function's transitive
+call closure collecting every attribute read on values of that class.
+Each read attribute must only be written by epoch-safe methods:
+
+* ``__init__``, or
+* a method that also bumps ``mutation_epoch``, or
+* a private method whose every in-class caller is epoch-safe
+  (fixpoint — covers ``_requeue``-style helpers whose callers bump), or
+* a method that resets *this* cache attribute (``self._cache = None``),
+  the sanctioned escape hatch for rewiring methods like ``connect()``.
+
+Attributes named in the cache key, the epoch counter itself, and other
+epoch-cache storage attributes (which carry their own guarantee) are
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.project import Project
+from repro.analysis.flow.symbols import ClassInfo, FunctionInfo, SymbolTable, TypeEnv
+from repro.analysis.registry import FlowRule, register
+
+EPOCH_ATTR = "mutation_epoch"
+
+#: closure bounds: the cached functions are control-cycle entry points,
+#: not arbitrary roots — a small bounded walk is plenty.
+_MAX_DEPTH = 8
+_MAX_FUNCS = 300
+
+
+@dataclass
+class CacheSite:
+    """One epoch-cached function."""
+
+    fn: FunctionInfo
+    source_class: str          # qualname of the epoch-source class
+    cache_attr: Optional[str]  # self.<attr> the (key, value) pair is stored in
+    key_attrs: Set[str] = field(default_factory=set)  # source-class attrs in the key
+
+
+def _epoch_read_bases(expr: ast.expr) -> List[ast.expr]:
+    """Every ``<base>.mutation_epoch`` read inside *expr* → the bases."""
+    out: List[ast.expr] = []
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr == EPOCH_ATTR:
+            out.append(node.value)
+    return out
+
+
+@register
+class EpochCacheSafetyRule(FlowRule):
+    id = "PERF002"
+    summary = "mutation_epoch cache reads state not guarded by the epoch"
+    rationale = (
+        "A cache keyed on mutation_epoch is a proof obligation: every "
+        "attribute the cached computation reads must be invalidated by "
+        "the key, which means every writer of that attribute bumps the "
+        "epoch (or resets the cache).  A writer that forgets leaves the "
+        "cache byte-stale — the 10-100x caching speedups on the roadmap "
+        "are only safe if this invariant is machine-checked."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        symbols = project.symbols
+        sites: List[CacheSite] = []
+        for qualname in sorted(symbols.functions):
+            site = self._cache_site(symbols, symbols.functions[qualname])
+            if site is not None:
+                sites.append(site)
+        # storage attrs of *all* epoch caches are exempt reads: each one
+        # carries its own (separately checked) epoch guarantee
+        cache_attrs: Dict[str, Set[str]] = {}
+        for site in sites:
+            if site.fn.class_qualname is not None and site.cache_attr is not None:
+                cache_attrs.setdefault(site.fn.class_qualname, set()).add(
+                    site.cache_attr
+                )
+        for site in sites:
+            yield from self._check_site(project, site, cache_attrs)
+
+    # -- site discovery ------------------------------------------------------
+
+    def _cache_site(
+        self, symbols: SymbolTable, fn: FunctionInfo
+    ) -> Optional[CacheSite]:
+        env = TypeEnv(symbols, fn)
+        epoch_vars: Set[str] = set()
+        source_class: Optional[str] = None
+        key_attrs: Set[str] = set()
+        key_exprs: List[ast.expr] = []
+        for node in ast.walk(fn.node):  # type: ignore[arg-type]
+            if not isinstance(node, ast.Assign):
+                continue
+            bases = _epoch_read_bases(node.value)
+            if not bases:
+                continue
+            for base in bases:
+                resolved = env.type_of(base)
+                if resolved is not None and source_class is None:
+                    source_class = resolved
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    epoch_vars.add(target.id)
+            key_exprs.append(node.value)
+        if source_class is None:
+            return None
+        cache_attr: Optional[str] = None
+        stores = False
+        for node in ast.walk(fn.node):  # type: ignore[arg-type]
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            mentions = {
+                n.id for n in ast.walk(node.value) if isinstance(n, ast.Name)
+            }
+            if mentions & epoch_vars or _epoch_read_bases(node.value):
+                stores = True
+                cache_attr = target.attr
+                key_exprs.append(node.value)
+        if not stores:
+            return None
+        # attributes of the source class referenced inside the key are
+        # part of the invalidation condition — exempt from the read check
+        for expr in key_exprs:
+            for node in ast.walk(expr):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and env.type_of(node.value) == source_class
+                ):
+                    key_attrs.add(node.attr)
+        return CacheSite(
+            fn=fn,
+            source_class=source_class,
+            cache_attr=cache_attr,
+            key_attrs=key_attrs,
+        )
+
+    # -- safety check --------------------------------------------------------
+
+    def _check_site(
+        self,
+        project: Project,
+        site: CacheSite,
+        cache_attrs: Dict[str, Set[str]],
+    ) -> Iterator[Finding]:
+        symbols = project.symbols
+        source = symbols.classes.get(site.source_class)
+        if source is None:
+            return
+        reads = self._closure_reads(project, site, source)
+        exempt = {EPOCH_ATTR} | site.key_attrs
+        exempt |= cache_attrs.get(site.source_class, set())
+        if site.fn.class_qualname == site.source_class and site.cache_attr:
+            exempt.add(site.cache_attr)
+        safe_methods = self._epoch_safe_methods(project, source)
+        sf = project.modules.get(site.fn.module)
+        path = sf.path if sf is not None else site.fn.module
+        for attr in sorted(reads - exempt):
+            writes = source.writes_to(attr)
+            if not writes:
+                continue  # inherited/dynamic attr: no writer evidence
+            unsafe = sorted({
+                w.method
+                for w in writes
+                if w.method not in safe_methods
+                and not self._resets_cache(source, w.method, site)
+            })
+            if not unsafe:
+                continue
+            yield self.project_finding(
+                path,
+                getattr(site.fn.node, "lineno", 1),
+                getattr(site.fn.node, "col_offset", 0),
+                f"epoch-cached {site.fn.name}() reads "
+                f"{source.name}.{attr}, but writer "
+                f"{source.name}.{unsafe[0]}() neither bumps "
+                "mutation_epoch nor resets this cache — the cache can "
+                "serve stale state",
+            )
+
+    def _closure_reads(
+        self, project: Project, site: CacheSite, source: ClassInfo
+    ) -> Set[str]:
+        """Attribute names read on source-class-typed expressions across
+        the cached function's transitive (direct/self) call closure."""
+        symbols = project.symbols
+        callgraph = project.callgraph
+        reads: Set[str] = set()
+        seen: Set[str] = set()
+        worklist: List[Tuple[str, int]] = [(site.fn.qualname, 0)]
+        while worklist and len(seen) < _MAX_FUNCS:
+            qualname, depth = worklist.pop()
+            if qualname in seen or depth > _MAX_DEPTH:
+                continue
+            seen.add(qualname)
+            fn = symbols.functions.get(qualname)
+            if fn is None:
+                continue
+            env = TypeEnv(symbols, fn)
+            for node in ast.walk(fn.node):  # type: ignore[arg-type]
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if env.type_of(node.value) != site.source_class:
+                    continue
+                method = symbols.find_method(site.source_class, node.attr)
+                if method is not None:
+                    if method.is_property:
+                        worklist.append((method.qualname, depth + 1))
+                    continue  # plain methods are covered by call edges
+                reads.add(node.attr)
+            for edge in callgraph.callees_of(qualname):
+                if edge.kind in ("direct", "self"):
+                    worklist.append((edge.callee, depth + 1))
+        return reads
+
+    def _epoch_safe_methods(
+        self, project: Project, source: ClassInfo
+    ) -> Set[str]:
+        """Methods whose writes are guarded: they bump the epoch, are
+        __init__, or are private helpers only reachable from guarded
+        methods (iterated to fixpoint).
+
+        The bump may live in a callee: ``qdel()`` removes from the queue
+        and then calls ``_finish()``, which bumps.  The simulation is
+        single-threaded, so any bump within the same call — before or
+        after the write — invalidates the cache before its next read;
+        a method that (transitively, in-class) calls a textual bumper is
+        therefore safe too.
+        """
+        callgraph = project.callgraph
+        prefix = source.qualname + "."
+        bumps: Set[str] = set(source.epoch_bumpers)
+        changed = True
+        while changed:
+            changed = False
+            for name, method in source.methods.items():
+                if name in bumps:
+                    continue
+                for edge in callgraph.callees_of(method.qualname):
+                    if edge.kind not in ("direct", "self"):
+                        continue
+                    if (edge.callee.startswith(prefix)
+                            and edge.callee[len(prefix):] in bumps):
+                        bumps.add(name)
+                        changed = True
+                        break
+        safe: Set[str] = {"__init__"} | bumps
+        changed = True
+        while changed:
+            changed = False
+            for name, method in source.methods.items():
+                if name in safe or not name.startswith("_"):
+                    continue
+                callers = [
+                    edge.caller
+                    for edge in callgraph.callers_of(method.qualname)
+                    if edge.kind in ("direct", "self")
+                ]
+                if not callers:
+                    continue
+                if all(
+                    caller.startswith(prefix)
+                    and caller[len(prefix):] in safe
+                    for caller in callers
+                ):
+                    safe.add(name)
+                    changed = True
+        return safe
+
+    def _resets_cache(
+        self, source: ClassInfo, method: str, site: CacheSite
+    ) -> bool:
+        """Writer *method* also resets the cache attribute (only possible
+        when the cached function lives on the source class itself)."""
+        if site.fn.class_qualname != site.source_class or site.cache_attr is None:
+            return False
+        return any(
+            w.method == method for w in source.writes_to(site.cache_attr)
+        )

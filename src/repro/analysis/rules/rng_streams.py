@@ -1,0 +1,192 @@
+"""DET006 — RNG-stream ownership discipline (graph-aware).
+
+The determinism contract for randomness is structural: one seeded root
+:class:`~repro.simkernel.rng.RngStreams` per run, handed *down* through
+constructors, with ``.spawn(name)`` as the only sanctioned way to carry
+randomness across a subsystem boundary.  A subsystem that draws from a
+handle *owned by another subsystem* couples their draw sequences: a new
+call site in one perturbs the other, which is exactly the refactoring
+hazard named streams exist to prevent.
+
+Three violations, all invisible to per-file analysis:
+
+* a **cross-subsystem draw** — ``other.rng.uniform(...)`` where the
+  handle attribute lives on a class in a different subsystem (the first
+  two dotted components of the module);
+* an **unseeded root** — ``RngStreams()`` with no argument falls back
+  to seed 0 silently instead of deriving from the run seed;
+* a **shared-handle assignment** — ``self.rng = other.rng`` stores a
+  foreign subsystem's handle instead of spawning a child
+  (``self.rng = other.rng.spawn("mine")``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.project import Project, subsystem_of
+from repro.analysis.flow.symbols import FunctionInfo, SymbolTable, TypeEnv
+from repro.analysis.registry import FlowRule, register
+
+#: canonical qualname of the stream factory (same string whether
+#: resolved inside the src/repro project or seen as an external import)
+RNGSTREAMS = "repro.simkernel.rng.RngStreams"
+
+#: every method that advances a stream's state
+DRAW_METHODS = frozenset({
+    "stream", "exponential", "uniform", "normal_clipped", "lognormal",
+    "choice", "bernoulli", "integers", "shuffle",
+})
+
+
+def _is_rngstreams(resolved: Optional[str]) -> bool:
+    return resolved == RNGSTREAMS
+
+
+@register
+class RngStreamDisciplineRule(FlowRule):
+    id = "DET006"
+    summary = "RNG handle drawn from (or shared) across a subsystem boundary"
+    rationale = (
+        "Randomness is owned: each subsystem draws only from handles it "
+        "created, received as a parameter, or spawned with .spawn(name). "
+        "Drawing from another subsystem's handle attribute couples the "
+        "two draw sequences, so an added call site in one silently "
+        "reshuffles the other — the cross-module version of the bug "
+        "DET002 catches for global RNG state.  Unseeded RngStreams() "
+        "roots are banned for the same reason DET002 bans unseeded "
+        "default_rng(): the draws are not derived from the run seed."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        symbols = project.symbols
+        for sf in project.files:
+            for node in ast.walk(sf.tree):
+                # unseeded root factory: RngStreams() with no arguments
+                if isinstance(node, ast.Call):
+                    target = symbols.resolve_call_target(sf.module, node.func)
+                    resolved = target[1] if target and target[0] == "class" else None
+                    if (
+                        _is_rngstreams(resolved)
+                        and not node.args
+                        and not node.keywords
+                    ):
+                        yield self.project_finding(
+                            sf.path, node.lineno, node.col_offset,
+                            "RngStreams() without a seed creates an ad-hoc "
+                            "root stream; derive the seed from the run seed "
+                            "(or .spawn() from the existing root)",
+                        )
+                # module-level handle: a global RNG shared by importers
+                if isinstance(node, ast.Assign) and node in sf.tree.body:
+                    if self._creates_handle(symbols, sf.module, node.value):
+                        yield self.project_finding(
+                            sf.path, node.lineno, node.col_offset,
+                            "module-level RngStreams handle is global state "
+                            "shared across importers; create it inside the "
+                            "run setup and pass it down",
+                        )
+        for qualname in sorted(symbols.functions):
+            fn = symbols.functions[qualname]
+            env = TypeEnv(symbols, fn)
+            here = subsystem_of(fn.module)
+            for node in ast.walk(fn.node):  # type: ignore[arg-type]
+                finding = self._check_call(project, env, here, node)
+                if finding is not None:
+                    yield finding
+                finding = self._check_share(project, env, here, fn, node)
+                if finding is not None:
+                    yield finding
+
+    # -- helpers -------------------------------------------------------------
+
+    def _creates_handle(
+        self, symbols: SymbolTable, module: str, value: ast.expr
+    ) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        target = symbols.resolve_call_target(module, value.func)
+        if target is not None and target[0] == "class":
+            return _is_rngstreams(target[1])
+        return False
+
+    def _handle_owner(
+        self, project: Project, env: TypeEnv, expr: ast.expr
+    ) -> Optional[str]:
+        """Owning subsystem of an RngStreams-typed attribute access.
+
+        Only ``<obj>.<attr>`` handles have an owner (the class holding
+        the attribute); bare names (params, locals, spawned children)
+        are owned by the code that holds them.
+        """
+        if not isinstance(expr, ast.Attribute):
+            return None
+        if not _is_rngstreams(env.type_of(expr)):
+            return None
+        base_type = env.type_of(expr.value)
+        if base_type is None:
+            return None
+        info = project.symbols.classes.get(base_type)
+        if info is None:
+            return None
+        return subsystem_of(info.module)
+
+    def _check_call(
+        self, project: Project, env: TypeEnv, here: str, node: ast.AST
+    ) -> Optional[Finding]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in DRAW_METHODS
+        ):
+            return None
+        owner = self._handle_owner(project, env, node.func.value)
+        if owner is None or owner == here:
+            return None
+        recv = node.func.value
+        # drawing from self's own attribute is in-subsystem by definition
+        if (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+        ):
+            return None
+        sf = project.modules.get(env.fn.module)
+        path = sf.path if sf is not None else env.fn.module
+        return self.project_finding(
+            path, node.lineno, node.col_offset,
+            f"draw .{node.func.attr}() on an RNG handle owned by "
+            f"subsystem {owner} from {here}; take a child via "
+            ".spawn(name) (or a handle parameter) instead",
+        )
+
+    def _check_share(
+        self,
+        project: Project,
+        env: TypeEnv,
+        here: str,
+        fn: FunctionInfo,
+        node: ast.AST,
+    ) -> Optional[Finding]:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            return None
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return None
+        owner = self._handle_owner(project, env, node.value)
+        if owner is None or owner == here:
+            return None
+        sf = project.modules.get(fn.module)
+        path = sf.path if sf is not None else fn.module
+        return self.project_finding(
+            path, node.lineno, node.col_offset,
+            f"self.{target.attr} stores an RNG handle owned by subsystem "
+            f"{owner}; store a spawned child instead "
+            f"(self.{target.attr} = <handle>.spawn(name))",
+        )

@@ -22,7 +22,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
 
 from repro.analysis.findings import Finding, Severity
 
@@ -97,12 +97,25 @@ def parse_suppressions(source: str) -> List[Suppression]:
 
 
 def apply_suppressions(
-    findings: List[Finding], suppressions: List[Suppression], path: str
+    findings: List[Finding],
+    suppressions: List[Suppression],
+    path: str,
+    unverified: Optional[FrozenSet[str]] = None,
 ) -> List[Finding]:
     """Filter suppressed findings; append SUP001/SUP002 hygiene findings.
 
+    ``unverified`` names rule ids whose checks did *not* run in this
+    pass (the graph-aware rules, when a file is linted stand-alone
+    without the project-wide flow analysis).  A suppression for an
+    unverified rule is exempt from SUP002 staleness: "silenced nothing"
+    is only evidence of staleness when the rule actually looked.  When
+    the flow pass runs, the runner passes an empty set and a stale
+    DET006/PERF002/... suppression is flagged like any other.
+
     Returns the surviving findings (unsorted — the runner sorts).
     """
+    if unverified is None:
+        unverified = frozenset()
     kept: List[Finding] = []
     for finding in findings:
         silenced = False
@@ -133,7 +146,7 @@ def apply_suppressions(
                     "'# reprolint: disable=RULE -- <why this is safe>'"
                 ),
             ))
-        unused = sorted(set(sup.rules) - sup.used_rules)
+        unused = sorted(set(sup.rules) - sup.used_rules - set(unverified))
         unused = [r for r in unused if _RULE_ID.match(r)]
         if unused:
             kept.append(Finding(

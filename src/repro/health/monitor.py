@@ -94,6 +94,7 @@ class HeartbeatMonitor:
 
     # -- registration --------------------------------------------------------
 
+    # reprolint: disable=TRC002 -- registration bookkeeping at wiring time, before the monitor arms; nothing observable transitions
     def watch(self, node: ComputeNode) -> None:
         """Put ``node`` under observation (idempotent)."""
         if node.name in self._nodes:

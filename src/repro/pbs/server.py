@@ -85,6 +85,7 @@ class PbsServer:
         """``enode01`` → ``enode01.eridani.qgg.hud.ac.uk``."""
         return short if "." in short else f"{short}.{self.server_name}"
 
+    # reprolint: disable=TRC002 -- static wiring (the OSCAR nodes file) before the simulation starts
     def create_node(
         self, hostname: str, np: int, properties: Optional[List[str]] = None
     ) -> PbsNodeRecord:
@@ -145,6 +146,7 @@ class PbsServer:
 
     # -- node failure & recovery ---------------------------------------------
 
+    # reprolint: disable=TRC002 -- the hardware layer emits node.crash at this same instant; the transition is already traced
     def node_crashed(self, hostname: str) -> None:
         """Hard node death: freeze its jobs where they stand.
 
@@ -204,12 +206,20 @@ class PbsServer:
         record.mark_offline(self.sim.now)
         self._index.reindex(record)
         self.mutation_epoch += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "node.cordoned", node=record.hostname, scheduler="pbs"
+            )
 
     def uncordon_node(self, hostname: str) -> None:
         record = self.node(hostname)
         record.clear_offline(self.sim.now)
         self._index.reindex(record)
         self.mutation_epoch += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "node.uncordoned", node=record.hostname, scheduler="pbs"
+            )
         self._try_schedule()
 
     def _recover(self, job: PbsJob, cause: str) -> str:
@@ -350,6 +360,7 @@ class PbsServer:
             )
         job.state = JobState.HELD
         self.mutation_epoch += 1
+        self._trace_job("job.held", job)
 
     def qrls(self, jobid: str) -> None:
         """Release a held job back into the queue (TORQUE ``qrls``)."""
@@ -358,6 +369,7 @@ class PbsServer:
             raise SchedulerError(f"{jobid} is not held")
         job.state = JobState.QUEUED
         self.mutation_epoch += 1
+        self._trace_job("job.released", job)
         self._try_schedule()
 
     def qdel(self, jobid: str) -> None:

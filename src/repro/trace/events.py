@@ -59,6 +59,10 @@ NODE_OS_DOWN = "node.os_down"
 #: Hard node failure (power lost without an orderly shutdown).
 NODE_CRASH = "node.crash"
 
+#: Admin cordon/drain on either scheduler (``fields["scheduler"]``).
+NODE_CORDONED = "node.cordoned"
+NODE_UNCORDONED = "node.uncordoned"
+
 #: Tri-stable power transitions (suspend-to-RAM and cloud-burst pool).
 POWER_SUSPENDED = "power.suspended"
 POWER_RESUMED = "power.resumed"
@@ -78,6 +82,8 @@ JOB_STARTED = "job.started"
 JOB_FINISHED = "job.finished"
 JOB_REQUEUED = "job.requeued"
 JOB_FAILED = "job.failed"
+JOB_HELD = "job.held"
+JOB_RELEASED = "job.released"
 
 #: Heartbeat health monitor (suspect -> fenced -> recovered).
 HEALTH_ARMED = "health.armed"

@@ -49,6 +49,7 @@ class WinHpcScheduler:
 
     # -- node table -----------------------------------------------------------
 
+    # reprolint: disable=TRC002 -- static wiring (cluster build) before the simulation starts
     def add_node(self, hostname: str, cores: int, template: str = "") -> WinNodeRecord:
         if hostname in self.nodes:
             raise SchedulerError(f"node {hostname} already in the cluster")
@@ -98,6 +99,7 @@ class WinHpcScheduler:
 
     # -- node failure & recovery ---------------------------------------------
 
+    # reprolint: disable=TRC002 -- the hardware layer emits node.crash at this same instant; the transition is already traced
     def node_crashed(self, hostname: str) -> None:
         """Hard node death: freeze its jobs where they stand.
 
@@ -144,10 +146,18 @@ class WinHpcScheduler:
         """Admin drain: no new placements, running jobs keep running."""
         self.node(hostname).mark_draining()
         self.mutation_epoch += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "node.cordoned", node=hostname, scheduler="winhpc"
+            )
 
     def uncordon_node(self, hostname: str) -> None:
         self.node(hostname).resume_online()
         self.mutation_epoch += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "node.uncordoned", node=hostname, scheduler="winhpc"
+            )
         self._try_schedule()
 
     def _recover(self, job: WinHpcJob, cause: str) -> str:

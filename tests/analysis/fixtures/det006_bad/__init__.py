@@ -1,0 +1,1 @@
+"""DET006 bad: one subsystem draws from (and stores) another's handle."""

@@ -1,0 +1,13 @@
+"""Reaches across the subsystem boundary into producer's handle."""
+
+from det006_bad.producer import FaultBox
+
+
+class Scheduler:
+    def __init__(self, box: FaultBox) -> None:
+        self.box = box
+        self.rng = box.rng  # shared-handle store: couples both sequences
+
+    def jitter(self) -> float:
+        # cross-subsystem draw: a new call site here reshuffles producer
+        return self.box.rng.uniform(0.0, 1.0)

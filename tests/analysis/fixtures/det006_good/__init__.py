@@ -1,0 +1,1 @@
+"""DET006 good: the consumer spawns its own child stream."""

@@ -1,0 +1,11 @@
+"""Takes a named child stream at the boundary — the sanctioned handoff."""
+
+from det006_good.producer import FaultBox
+
+
+class Scheduler:
+    def __init__(self, box: FaultBox) -> None:
+        self.rng = box.rng.spawn("scheduler")
+
+    def jitter(self) -> float:
+        return self.rng.uniform(0.0, 1.0)

@@ -1,0 +1,10 @@
+"""Owns the RNG handle for this fixture package."""
+
+from repro.simkernel.rng import RngStreams
+
+
+class FaultBox:
+    """The subsystem that legitimately holds the stream root."""
+
+    def __init__(self, rng: RngStreams) -> None:
+        self.rng = rng

@@ -1,0 +1,1 @@
+"""DET007 bad: a wall-clock value flows through a helper into state."""

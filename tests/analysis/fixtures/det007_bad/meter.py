@@ -1,0 +1,16 @@
+"""The suppressed DET001 read leaks into object state two hops later."""
+
+import time
+
+
+class Meter:
+    def __init__(self) -> None:
+        self.started_at = 0.0
+
+    def start(self) -> None:
+        t = time.time()  # reprolint: disable=DET001 -- fixture: the read itself is host-side
+        # tainted through _shift(): identical runs store different values
+        self.started_at = self._shift(t)
+
+    def _shift(self, value: float) -> float:
+        return value + 1.0

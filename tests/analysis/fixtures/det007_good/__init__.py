@@ -1,0 +1,1 @@
+"""DET007 good: timestamps derive from simulation time, not the host."""

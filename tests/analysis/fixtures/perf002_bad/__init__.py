@@ -1,0 +1,1 @@
+"""PERF002 bad: a writer of cached-read state forgets the epoch bump."""

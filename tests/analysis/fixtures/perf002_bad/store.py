@@ -1,0 +1,15 @@
+"""The epoch-source class; sneak() mutates without bumping."""
+
+
+class Store:
+    def __init__(self) -> None:
+        self.mutation_epoch = 0
+        self.items = []
+
+    def add(self, item) -> None:
+        self.items.append(item)
+        self.mutation_epoch += 1
+
+    def sneak(self, item) -> None:
+        # forgets the bump: Render's cache keeps serving the old text
+        self.items.append(item)

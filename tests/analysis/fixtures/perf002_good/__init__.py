@@ -1,0 +1,1 @@
+"""PERF002 good: every writer of cached-read state bumps the epoch."""

@@ -1,0 +1,15 @@
+"""The epoch-source class; every mutator bumps."""
+
+
+class Store:
+    def __init__(self) -> None:
+        self.mutation_epoch = 0
+        self.items = []
+
+    def add(self, item) -> None:
+        self.items.append(item)
+        self.mutation_epoch += 1
+
+    def sneak(self, item) -> None:
+        self.items.append(item)
+        self.mutation_epoch += 1

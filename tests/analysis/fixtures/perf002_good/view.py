@@ -1,0 +1,17 @@
+"""Caches a render keyed on Store.mutation_epoch."""
+
+from perf002_good.store import Store
+
+
+class Render:
+    def __init__(self, store: Store) -> None:
+        self.store = store
+        self._cache = None
+
+    def render(self) -> str:
+        epoch = self.store.mutation_epoch
+        if self._cache is not None and self._cache[0] == epoch:
+            return self._cache[1]
+        text = ",".join(str(item) for item in self.store.items)
+        self._cache = (epoch, text)
+        return text

@@ -1,0 +1,1 @@
+"""TRC002 bad: a public mutation with no reachable trace emit."""

@@ -1,0 +1,10 @@
+"""submit() mutates the queue silently — invisible to the trace oracle."""
+
+
+class MiniSched:
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+        self.jobs = []
+
+    def submit(self, job) -> None:
+        self.jobs.append(job)

@@ -1,0 +1,1 @@
+"""TRC002 good: the mutation reaches an emit through a helper."""

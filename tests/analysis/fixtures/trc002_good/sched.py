@@ -1,0 +1,14 @@
+"""submit() mutates and traces (via a private helper — closure walk)."""
+
+
+class MiniSched:
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+        self.jobs = []
+
+    def submit(self, job) -> None:
+        self.jobs.append(job)
+        self._note(job)
+
+    def _note(self, job) -> None:
+        self.tracer.emit("job.submitted", jobid=job)

@@ -1,21 +1,29 @@
 """The acceptance gate: the shipped tree lints clean.
 
-``repro-lint src/repro`` exiting 0 with zero findings is part of the
-merge contract (and CI runs it with ``--strict``); this test is the
-same check in pytest form so a violation fails the suite locally before
-CI ever sees it.
+``repro-lint --baseline reprolint-baseline.json --strict`` exiting 0 is
+part of the merge contract (CI runs exactly that); this test is the same
+check in pytest form so a violation fails the suite locally before CI
+ever sees it.  "Clean" means clean *modulo the committed baseline*: the
+ratchet file grandfathers named pre-existing findings, and a stale entry
+(debt paid but not deleted) fails here as a BASE001 warning.
 """
 
 from pathlib import Path
 
 from repro.analysis import lint_paths
+from repro.analysis.flow.baseline import load_baseline
 
 REPO_ROOT = Path(__file__).parents[2]
 SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "reprolint-baseline.json"
+
+
+def _baseline():
+    return load_baseline(BASELINE.read_text(encoding="utf-8"))
 
 
 def test_repo_source_lints_clean():
-    report = lint_paths([str(SRC)])
+    report = lint_paths([str(SRC)], baseline=_baseline())
     assert report.files_checked > 100  # the walk really found the tree
     assert report.findings == [], "\n" + "\n".join(
         f.render() for f in report.findings
@@ -31,3 +39,23 @@ def test_benchmarks_and_examples_lint_clean():
     assert report.findings == [], "\n" + "\n".join(
         f.render() for f in report.findings
     )
+
+
+def test_baseline_has_no_unjustified_entries():
+    """Every grandfathered finding carries its own why."""
+    entries = _baseline()
+    for entry in entries:
+        assert entry.why, f"baseline entry for {entry.rule} needs a 'why'"
+
+
+def test_full_tree_lints_clean_with_baseline():
+    """The exact CI invocation: src + benchmarks + examples, strict."""
+    report = lint_paths(
+        [str(SRC), str(REPO_ROOT / "benchmarks"), str(REPO_ROOT / "examples")],
+        baseline=_baseline(),
+        baseline_path=str(BASELINE),
+    )
+    assert report.findings == [], "\n" + "\n".join(
+        f.render() for f in report.findings
+    )
+    assert report.ok(strict=True)

@@ -79,3 +79,30 @@ def test_parse_extracts_rules_and_justification():
     assert sup.rules == ["DET001", "TRC001"]
     assert sup.justification == "two rules, one why"
     assert sup.target_line == 1
+
+
+# -- flow-rule suppressions and SUP002 staleness -----------------------------
+
+def test_flow_suppression_not_stale_in_single_file_mode():
+    """Without the project-wide flow pass, a DET006 suppression silences
+    nothing — but that is not evidence of staleness (the rule never
+    looked), so SUP002 must stay quiet."""
+    src = "x = 1  # reprolint: disable=DET006 -- cross-module; verified by flow pass\n"
+    report = lint_source(src, module="repro.core.f")
+    assert report.findings == []
+
+
+def test_flow_suppression_is_stale_when_flow_pass_runs(tmp_path):
+    """When lint_paths runs the flow pass, an unused flow-rule
+    suppression is flagged like any other."""
+    from repro.analysis import lint_paths
+
+    target = tmp_path / "clean.py"
+    target.write_text(
+        "x = 1  # reprolint: disable=DET006 -- nothing here draws RNG\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([str(target)])
+    assert [f.rule for f in report.findings] == ["SUP002"]
+    report = lint_paths([str(target)], flow=False)
+    assert report.findings == []
