@@ -13,6 +13,11 @@ Not collected by pytest (the filename does not match ``bench_*.py`` /
     PYTHONPATH=src python benchmarks/profile_hotspots.py --nodes 256
     PYTHONPATH=src python benchmarks/profile_hotspots.py \
         --nodes 1024 --hours 24 --top 40 --sort tottime
+    PYTHONPATH=src python benchmarks/profile_hotspots.py --queue heap
+
+``--queue`` profiles the same scenario on either event-queue
+implementation (docs/PERFORMANCE.md) — the heap run is how the calendar
+queue's win was measured in the first place.
 """
 
 from __future__ import annotations
@@ -21,15 +26,20 @@ import argparse
 import cProfile
 import pstats
 
+import repro.simkernel.kernel as kernel
 from repro.compare import HybridSystem, run_scenario
 from repro.core.config import MiddlewareConfig
 from repro.experiments.e10_scale import _workload
 from repro.simkernel import HOUR, MINUTE
 
 
-def build_scenario(num_nodes: int, hours: float, seed: int):
+def build_scenario(num_nodes: int, hours: float, seed: int,
+                   queue: str = kernel.DEFAULT_QUEUE):
     horizon_s = hours * HOUR
     jobs = _workload(num_nodes, seed, horizon_s)
+    # The experiments never thread a queue parameter through; the
+    # module-level default is the supported override point.
+    kernel.DEFAULT_QUEUE = queue
     system = HybridSystem(
         num_nodes=num_nodes, seed=seed, version=2,
         config=MiddlewareConfig(version=2, check_cycle_s=10 * MINUTE),
@@ -37,18 +47,20 @@ def build_scenario(num_nodes: int, hours: float, seed: int):
     return system, jobs, horizon_s
 
 
-def profile_run(num_nodes: int, hours: float, seed: int) -> cProfile.Profile:
-    system, jobs, horizon_s = build_scenario(num_nodes, hours, seed)
+def profile_run(num_nodes: int, hours: float, seed: int,
+                queue: str = kernel.DEFAULT_QUEUE) -> cProfile.Profile:
+    system, jobs, horizon_s = build_scenario(num_nodes, hours, seed, queue)
     profiler = cProfile.Profile()
     profiler.enable()
     result = run_scenario(system, jobs, horizon_s)
     profiler.disable()
     print(
-        f"nodes={num_nodes} horizon={hours:g}h seed={seed}: "
+        f"nodes={num_nodes} horizon={hours:g}h seed={seed} "
+        f"queue={system.sim.queue_kind}: "
         f"{result.submitted} submitted, {result.completed} completed, "
         f"{result.switches} switches, "
         f"{system.sim.events_executed} events, "
-        f"{system.sim.compactions} heap compactions"
+        f"{system.sim.compactions} queue compactions"
     )
     return profiler
 
@@ -76,8 +88,13 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--sort", choices=("cumtime", "tottime"), default="cumtime"
     )
+    parser.add_argument(
+        "--queue", choices=("heap", "calendar"),
+        default=kernel.DEFAULT_QUEUE,
+        help="event-queue implementation to profile (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
-    profiler = profile_run(args.nodes, args.hours, args.seed)
+    profiler = profile_run(args.nodes, args.hours, args.seed, args.queue)
     print_stats(profiler, args.top, args.sort)
 
 

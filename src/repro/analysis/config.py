@@ -163,6 +163,13 @@ def default_config() -> LintConfig:
                 "repro.core.detector": error,
             },
         ),
+        # Eager TraceEvent construction: error everywhere except inside
+        # repro.trace itself — the tracer's lazy materialiser (and the
+        # JSONL importer) are the only legitimate record builders.
+        "PERF003": RulePolicy(
+            default=error,
+            overrides={"repro.trace": Severity.OFF},
+        ),
     }
     return LintConfig(policies=policies)
 

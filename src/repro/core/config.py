@@ -74,6 +74,11 @@ class MiddlewareConfig:
     elastic_max_actions: int = 2
     #: trailing nodes that start DEPROVISIONED (the cloud-burst pool)
     burst_nodes: int = 0
+    #: how much the tracer records: "full" (events + counts), "counts"
+    #: (per-kind counters only) or "off".  Tracing never feeds back into
+    #: simulation state, so any mode replays byte-identically when re-run
+    #: with tracing on (see docs/OBSERVABILITY.md).
+    trace_mode: str = "full"
 
     def __post_init__(self) -> None:
         if self.version not in (1, 2):
@@ -122,3 +127,8 @@ class MiddlewareConfig:
             raise ConfigurationError("elastic_max_actions must be >= 1")
         if self.burst_nodes < 0:
             raise ConfigurationError("burst_nodes must be >= 0")
+        if self.trace_mode not in ("full", "counts", "off"):
+            raise ConfigurationError(
+                f"bad trace_mode {self.trace_mode!r} "
+                "(expected 'full', 'counts' or 'off')"
+            )

@@ -58,21 +58,39 @@ _FIELD_RE = re.compile(r"^\s{4}(\S+) = (.*)$", re.MULTILINE)
 _NODES_RE = re.compile(r"(\d+)(?::ppn=(\d+))?")
 
 
-def parse_qstat_full(text: str) -> List[dict]:
+#: Deterministic bound on a stanza cache; cleared wholesale when full so
+#: behaviour depends only on the parsed text, never on timing.
+_STANZA_CACHE_MAX = 16384
+
+
+def parse_qstat_full(text: str, _cache: Optional[dict] = None) -> List[dict]:
     """Parse ``qstat -f`` text into a list of attribute dicts.
 
     This is the Perl detector's job, done in Python: nothing here touches
-    scheduler objects — only the rendered text.
+    scheduler objects — only the rendered text.  ``_cache`` (stanza text
+    -> parsed attributes) lets a long-lived caller skip the regex work
+    for stanzas it has seen before; entries are copied out so callers
+    can never corrupt the cache.
     """
     jobs = []
     for chunk in _JOB_SPLIT_RE.split(text):
         chunk = chunk.strip()
         if not chunk:
             continue
+        if _cache is not None:
+            hit = _cache.get(chunk)
+            if hit is not None:
+                jobs.append(dict(hit))
+                continue
         jobid = chunk.splitlines()[0].strip()
         attributes = {"Job_Id": jobid}
         for match in _FIELD_RE.finditer(chunk):
             attributes[match.group(1)] = match.group(2).strip()
+        if _cache is not None:
+            if len(_cache) >= _STANZA_CACHE_MAX:
+                _cache.clear()
+            _cache[chunk] = attributes
+            attributes = dict(attributes)
         jobs.append(attributes)
     return jobs
 
@@ -111,6 +129,9 @@ class PbsDetector:
         #: (mutation epoch, report) of the last check — an unchanged epoch
         #: means byte-identical qstat text, hence an identical report.
         self._cache: Optional[Tuple[int, DetectorReport]] = None
+        #: stanza text -> parsed attributes, shared across checks (jobs
+        #: rarely change between epochs, their stanzas even less so)
+        self._stanza_cache: dict = {}
 
     def invalidate(self) -> None:
         """Drop the cached report (benchmarks use this to time cold checks)."""
@@ -132,7 +153,7 @@ class PbsDetector:
             report = cached[1]
             _trace_check(self, "linux", report)
             return report
-        jobs = parse_qstat_full(self.commands.qstat_f())
+        jobs = parse_qstat_full(self.commands.qstat_f(), self._stanza_cache)
         workload = [j for j in jobs if j.get("Job_Name") != SWITCH_JOB_NAME]
         running = [j for j in workload if j.get("job_state") == "R"]
         queued = [j for j in workload if j.get("job_state") == "Q"]

@@ -78,7 +78,8 @@ class DualBootOscar:
         self.effort = AdminEffortLedger()
         self.recorder = ClusterRecorder()
         self.tracer = Tracer(
-            cluster.sim, name=f"dualboot-v{self.config.version}"
+            cluster.sim, name=f"dualboot-v{self.config.version}",
+            mode=self.config.trace_mode,
         )
         cluster.sim.tracer = self.tracer
 

@@ -77,7 +77,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentOutput:
     )
     table = Table(
         ["nodes", "jobs", "completed", "switches", "sim h", "wall s",
-         "wall ms/sim-h", "events", "heap compactions"],
+         "wall ms/sim-h", "events", "queue compactions"],
         title=f"Poisson {RATE_PER_NODE_PER_HOUR}/h per node, 25% Windows, "
         f"{horizon_s / HOUR:.0f}h horizon + drain, 10-min control cycle",
     )

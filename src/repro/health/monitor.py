@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.hardware.node import ComputeNode, NodeState
@@ -54,6 +54,9 @@ class NodeHealth:
     expected: bool = False
     misses: int = 0
     fence_count: int = 0
+    #: sim time of the last *processed* beat.  The poll loop is
+    #: incremental: quiescent healthy nodes are skipped, so this is not
+    #: re-stamped every beat while a node stays quietly up.
     last_beat_at: Optional[float] = None
     fenced_at: Optional[float] = None
     recovered_at: Optional[float] = None
@@ -84,7 +87,17 @@ class HeartbeatMonitor:
         self.tracer = tracer
         self._nodes: Dict[str, ComputeNode] = {}
         self._order: List[str] = []
+        self._index: Dict[str, int] = {}
         self._health: Dict[str, NodeHealth] = {}
+        #: nodes that might need poll attention (dict used as an ordered
+        #: set; iteration is re-sorted into registration order anyway).
+        #: Fed by the power-state observers and the agent hooks so the
+        #: poll loop never scans the quiescent majority of the cluster.
+        self._attention: Dict[str, None] = {}
+        #: watched objects without an ``on_power_state`` hook list (test
+        #: stubs flip ``.state`` directly): scanned every beat, like the
+        #: pre-incremental poll loop did for everything.
+        self._unobserved: Set[str] = set()
         self.on_fence: List[Callable[[str], None]] = []
         self.on_recover: List[Callable[[str], None]] = []
         self.fences = 0
@@ -100,8 +113,20 @@ class HeartbeatMonitor:
         if node.name in self._nodes:
             return
         self._nodes[node.name] = node
+        self._index[node.name] = len(self._order)
         self._order.append(node.name)
         self._health[node.name] = NodeHealth(name=node.name)
+        hooks = getattr(node, "on_power_state", None)
+        if hooks is not None:
+            hooks.append(self._on_power_state)
+        else:
+            self._unobserved.add(node.name)
+            self._attention[node.name] = None
+
+    def _on_power_state(self, node: ComputeNode, old: NodeState,
+                        new: NodeState) -> None:
+        """Power transitions flag the node for the next poll."""
+        self._attention[node.name] = None
 
     def attach_agent(self, node: ComputeNode, os_instance: OSInstance) -> None:
         """Install the heartbeat agent service on a fresh OS instance.
@@ -124,6 +149,7 @@ class HeartbeatMonitor:
         health.expected = True
         health.misses = 0
         health.last_beat_at = self.sim.now
+        self._attention[name] = None
         if health.state is HealthState.FENCED:
             health.state = HealthState.HEALTHY
             health.recovered_at = self.sim.now
@@ -148,6 +174,8 @@ class HeartbeatMonitor:
         health.misses = 0
         if health.state is not HealthState.FENCED:
             health.state = HealthState.HEALTHY
+        self._attention[name] = None
+        self._trace("health.expected_down", node=name)
 
     # -- the poll loop -------------------------------------------------------
 
@@ -170,10 +198,26 @@ class HeartbeatMonitor:
             self._poll()
 
     def _poll(self) -> None:
-        for name in self._order:
+        """One beat: process only the nodes flagged for attention.
+
+        Observationally identical to scanning every watched node — a
+        node not under attention is quiescent (not expected with
+        ``misses == 0``, or expected and ``UP`` with ``misses == 0`` and
+        a non-suspect state), for which the full scan was a no-op.  The
+        snapshot is re-sorted into registration order so escalation
+        events fire in exactly the order the full scan produced, and
+        nodes flagged mid-poll (by fencing callbacks) wait for the next
+        beat, just as a freshly-darkened node waits for its first miss.
+        """
+        if not self._attention:
+            return
+        unobserved = self._unobserved
+        for name in sorted(self._attention, key=self._index.__getitem__):
             health = self._health[name]
             if not health.expected:
                 health.misses = 0
+                if name not in unobserved:
+                    del self._attention[name]
                 continue
             node = self._nodes[name]
             if node.state is NodeState.UP:
@@ -182,6 +226,8 @@ class HeartbeatMonitor:
                 if health.state is HealthState.SUSPECT:
                     # a suspect that beats again was never dead
                     health.state = HealthState.HEALTHY
+                if name not in unobserved:
+                    del self._attention[name]
                 continue
             health.misses += 1
             if (

@@ -85,7 +85,28 @@ def render_pbsnodes(server: PbsServer) -> str:
 
 
 def render_qstat_full_entry(job: PbsJob, server_name: str) -> str:
-    """One job's stanza in ``qstat -f`` output (Figure 8)."""
+    """One job's stanza in ``qstat -f`` output (Figure 8).
+
+    Memoised per job: the stanza depends only on the fields keyed below
+    (never on ``now``), and most jobs sit unchanged between detector
+    cycles, so re-rendering the whole listing every epoch bump would
+    redo almost entirely identical work.
+    """
+    key = (
+        server_name, job.name, job.owner, job.state.value, job.queue,
+        job.join_oe, job.output_path, tuple(job.exec_slots), job.priority,
+        job.qtime, job.rerunnable, job.nodes, job.ppn, job.walltime_s,
+        job.start_time, job.exit_status, tuple(sorted(job.variables.items())),
+    )
+    cached = getattr(job, "_qstat_stanza_cache", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    text = _render_qstat_full_entry(job, server_name)
+    job._qstat_stanza_cache = (key, text)
+    return text
+
+
+def _render_qstat_full_entry(job: PbsJob, server_name: str) -> str:
     lines = [f"Job Id: {job.jobid}"]
 
     def attr(name: str, value: str) -> None:

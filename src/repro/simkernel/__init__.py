@@ -30,8 +30,14 @@ Example
 [(1.0, 'b'), (2.0, 'a')]
 """
 
+from repro.simkernel.calqueue import CalendarQueue
 from repro.simkernel.events import Event
-from repro.simkernel.kernel import Simulator
+from repro.simkernel.kernel import (
+    DEFAULT_QUEUE,
+    HeapEventQueue,
+    Simulator,
+    make_event_queue,
+)
 from repro.simkernel.process import (
     AllOf,
     AnyOf,
@@ -53,8 +59,11 @@ from repro.simkernel.timeunits import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "DAY",
+    "DEFAULT_QUEUE",
     "Event",
+    "HeapEventQueue",
     "HOUR",
     "Interrupt",
     "MINUTE",
@@ -67,4 +76,5 @@ __all__ = [
     "Store",
     "Timeout",
     "format_duration",
+    "make_event_queue",
 ]

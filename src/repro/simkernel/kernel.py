@@ -1,15 +1,30 @@
 """The simulator: clock + deterministic event queue.
 
-The queue is a binary heap of ``(time, sequence, callback, args)`` entries.
-The monotonically increasing sequence number breaks time ties so that events
-scheduled first fire first — this makes every simulation in the test suite
-and the benchmark harness bit-for-bit reproducible.
+The queue is pluggable behind a small seam (:class:`EventQueue`): a
+binary heap (:class:`HeapEventQueue`, the reference implementation) and
+a calendar queue (:class:`repro.simkernel.calqueue.CalendarQueue`, the
+default — tuned for the clustered event times of the simulated cluster).
+Both maintain the exact same total order: ``(time, sequence)``, where
+the monotonically increasing sequence number breaks time ties so that
+events scheduled first fire first — this makes every simulation in the
+test suite and the benchmark harness bit-for-bit reproducible, and the
+two queues byte-identical to each other (proved per-experiment by
+``tests/experiments/test_queue_trace_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Generator,
+    List,
+    Optional,
+    Protocol,
+    Union,
+)
 
 from repro.simkernel.events import Event
 from repro.trace.events import callback_name
@@ -22,8 +37,13 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (negative delays, running a dead kernel)."""
 
 
-#: Below this many dead entries compaction is never worth the heapify cost.
+#: Below this many dead entries compaction is never worth the rebuild cost.
 _COMPACT_FLOOR = 64
+
+#: Queue kind used when ``Simulator(queue=None)``.  Module-level so test
+#: harnesses can monkeypatch it (e.g. force the heap for an equivalence
+#: run) without threading a parameter through every experiment.
+DEFAULT_QUEUE = "calendar"
 
 
 class _Entry:
@@ -42,8 +62,138 @@ class _Entry:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
+class EventQueue(Protocol):
+    """The queue seam: total ``(time, seq)`` order plus lazy deletion.
+
+    Implementations must pop in strict ``(time, seq)`` order, keep
+    cancelled entries in place (``dead`` counts them) until they drain
+    past or a compaction removes them, and tolerate ``fire`` callbacks
+    that push, cancel or compact mid-``drain``.
+    """
+
+    dead: int
+    compactions: int
+
+    def push(self, entry: _Entry) -> None: ...
+
+    def cancel(self, entry: _Entry) -> None: ...
+
+    def pop(self) -> Optional[_Entry]: ...
+
+    def peek(self) -> Optional[_Entry]: ...
+
+    def drain(self, fire: Callable[[_Entry], None],
+              until: Optional[float] = None) -> None: ...
+
+    def __len__(self) -> int: ...
+
+
+class HeapEventQueue:
+    """The reference queue: a binary heap with dead-entry compaction.
+
+    Cancellation is lazy: the entry stays in the heap with its ``alive``
+    flag cleared and is skipped when it surfaces.  The queue counts dead
+    entries and compacts once they outnumber the live ones, so long runs
+    with heavy cancellation (walltime guards that almost never fire,
+    interrupted waits) keep the heap — and every subsequent push/pop —
+    proportional to the *live* event count.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        #: Cancelled entries still occupying heap slots.
+        self.dead: int = 0
+        #: Number of heap compactions performed so far.
+        self.compactions: int = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<HeapEventQueue queued={len(self._heap)} dead={self.dead}>"
+
+    def push(self, entry: _Entry) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def cancel(self, entry: _Entry) -> None:
+        if entry.alive:
+            entry.alive = False
+            self.dead += 1
+            if self.dead > _COMPACT_FLOOR and self.dead * 2 > len(self._heap):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify, preserving list identity.
+
+        ``heapify`` over the surviving entries is deterministic because
+        ``(time, seq)`` is a strict total order — no two entries compare
+        equal, so the resulting pop order is the same regardless of the
+        heap's internal layout.  The slice assignment keeps the heap the
+        same list object: the drain loop holds a local alias to it.
+        """
+        self._heap[:] = [e for e in self._heap if e.alive]
+        heapq.heapify(self._heap)
+        self.dead = 0
+        self.compactions += 1
+
+    def pop(self) -> Optional[_Entry]:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = pop(heap)
+            if entry.alive:
+                return entry
+            self.dead -= 1
+        return None
+
+    def peek(self) -> Optional[_Entry]:
+        """The live head, left on the heap; sheds dead heads as it looks."""
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if heap[0].alive:
+                return heap[0]
+            pop(heap)
+            self.dead -= 1
+        return None
+
+    def drain(self, fire: Callable[[_Entry], None],
+              until: Optional[float] = None) -> None:
+        heap = self._heap
+        pop = heapq.heappop
+        if until is None:
+            # The heap alias stays valid across callbacks because
+            # _compact() rewrites the list in place.
+            while heap:
+                entry = pop(heap)
+                if not entry.alive:
+                    self.dead -= 1
+                    continue
+                fire(entry)
+            return
+        while True:
+            head = self.peek()
+            if head is None or head.time > until:
+                return
+            pop(heap)
+            fire(head)
+
+
+def make_event_queue(kind: str) -> EventQueue:
+    """Build an event queue by kind: ``"heap"`` or ``"calendar"``."""
+    if kind == "heap":
+        return HeapEventQueue()
+    if kind == "calendar":
+        from repro.simkernel.calqueue import CalendarQueue  # local: avoid cycle
+
+        return CalendarQueue()
+    raise SimulationError(
+        f"unknown event queue kind {kind!r} (expected 'heap' or 'calendar')"
+    )
+
+
 class Simulator:
-    """Discrete-event simulator with a deterministic heap-based event queue.
+    """Discrete-event simulator with a deterministic pluggable event queue.
 
     The public surface is intentionally small:
 
@@ -52,6 +202,11 @@ class Simulator:
       (see :class:`repro.simkernel.process.Process`),
     * :meth:`event` — create an :class:`~repro.simkernel.events.Event`,
     * :meth:`run` / :meth:`step` — advance time.
+
+    ``queue`` selects the event-queue implementation (``"heap"`` or
+    ``"calendar"``); ``None`` reads the module-level :data:`DEFAULT_QUEUE`.
+    A pre-built queue object may also be passed (micro-benchmarks tune
+    ``CalendarQueue(min_bucket=...)`` this way).
 
     Example
     -------
@@ -64,12 +219,17 @@ class Simulator:
     (5.0, [5])
     """
 
-    def __init__(self) -> None:
+    def __init__(self, queue: Union[str, EventQueue, None] = None) -> None:
         self._now: float = 0.0
-        self._queue: List[_Entry] = []
+        if queue is None:
+            queue = DEFAULT_QUEUE
+        if isinstance(queue, str):
+            self._queue_kind: str = queue
+            self._queue: EventQueue = make_event_queue(queue)
+        else:
+            self._queue_kind = type(queue).__name__
+            self._queue = queue
         self._seq: int = 0
-        self._dead: int = 0
-        self._compactions: int = 0
         self._processes_started: int = 0
         self._events_executed: int = 0
         #: Optional :class:`repro.trace.Tracer`.  Kernel-level events are
@@ -90,14 +250,19 @@ class Simulator:
         return self._events_executed
 
     @property
+    def queue_kind(self) -> str:
+        """Which event-queue implementation this simulator runs on."""
+        return self._queue_kind
+
+    @property
     def dead_entries(self) -> int:
-        """Cancelled entries still occupying heap slots (diagnostics)."""
-        return self._dead
+        """Cancelled entries still occupying queue slots (diagnostics)."""
+        return self._queue.dead
 
     @property
     def compactions(self) -> int:
-        """Number of heap compactions performed so far (diagnostics)."""
-        return self._compactions
+        """Number of queue compactions performed so far (diagnostics)."""
+        return self._queue.compactions
 
     # -- scheduling ------------------------------------------------------------
 
@@ -119,38 +284,16 @@ class Simulator:
             )
         entry = _Entry(time, self._seq, fn, args)
         self._seq += 1
-        heapq.heappush(self._queue, entry)
+        self._queue.push(entry)
         return entry
 
     def cancel(self, entry: _Entry) -> None:
         """Revoke a scheduled callback (no-op if it already ran).
 
-        Cancellation is lazy: the entry stays in the heap with its ``alive``
-        flag cleared and is skipped when it surfaces.  The kernel counts
-        dead entries and compacts the heap once they outnumber the live
-        ones, so long runs with heavy cancellation (walltime guards that
-        almost never fire, interrupted waits) keep the heap — and every
-        subsequent push/pop — proportional to the *live* event count.
+        Cancellation is lazy — see the queue implementations for the
+        dead-entry accounting and compaction rules shared by both.
         """
-        if entry.alive:
-            entry.alive = False
-            self._dead += 1
-            if self._dead > _COMPACT_FLOOR and self._dead * 2 > len(self._queue):
-                self._compact()
-
-    def _compact(self) -> None:
-        """Drop dead entries and re-heapify, preserving list identity.
-
-        ``heapify`` over the surviving entries is deterministic because
-        ``(time, seq)`` is a strict total order — no two entries compare
-        equal, so the resulting pop order is the same regardless of the
-        heap's internal layout.  The slice assignment keeps ``self._queue``
-        the same list object: the run loops hold a local alias to it.
-        """
-        self._queue[:] = [e for e in self._queue if e.alive]
-        heapq.heapify(self._queue)
-        self._dead = 0
-        self._compactions += 1
+        self._queue.cancel(entry)
 
     # -- events & processes ------------------------------------------------
 
@@ -197,34 +340,13 @@ class Simulator:
             tracer.emit("kernel.fire", callback=callback_name(entry.fn))
         entry.fn(*entry.args)
 
-    def _drop_dead_head(self) -> Optional[_Entry]:
-        """Pop dead entries off the heap head; return the live head or None.
-
-        The head stays *on* the queue — callers that consume it must pop it
-        themselves.  This is the single place ``peek``/``run(until=)`` shed
-        cancelled entries, so the dead-entry count stays exact.
-        """
-        queue = self._queue
-        pop = heapq.heappop
-        while queue:
-            if queue[0].alive:
-                return queue[0]
-            pop(queue)
-            self._dead -= 1
-        return None
-
     def step(self) -> bool:
         """Execute the next live queue entry.  Returns ``False`` when empty."""
-        queue = self._queue
-        pop = heapq.heappop
-        while queue:
-            entry = pop(queue)
-            if not entry.alive:
-                self._dead -= 1
-                continue
-            self._fire(entry)
-            return True
-        return False
+        entry = self._queue.pop()
+        if entry is None:
+            return False
+        self._fire(entry)
+        return True
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock would pass *until*.
@@ -234,31 +356,16 @@ class Simulator:
         behave like a progressing wall clock.
         """
         if until is None:
-            # Drain loop: the hot path of every experiment.  The queue alias
-            # stays valid across callbacks because _compact() rewrites the
-            # list in place.
-            queue = self._queue
-            pop = heapq.heappop
-            while queue:
-                entry = pop(queue)
-                if not entry.alive:
-                    self._dead -= 1
-                    continue
-                self._fire(entry)
+            self._queue.drain(self._fire)
             return
         if until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while True:
-            head = self._drop_dead_head()
-            if head is None or head.time > until:
-                break
-            heapq.heappop(self._queue)
-            self._fire(head)
+        self._queue.drain(self._fire, until)
         self._now = until
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        head = self._drop_dead_head()
+        head = self._queue.peek()
         return head.time if head is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

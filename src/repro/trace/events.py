@@ -90,6 +90,9 @@ HEALTH_ARMED = "health.armed"
 HEALTH_SUSPECT = "health.suspect"
 HEALTH_FENCED = "health.fenced"
 HEALTH_RECOVERED = "health.recovered"
+#: Orderly agent stop (reboot, OS switch, drain): beats stop being
+#: expected — planned downtime, never an escalation.
+HEALTH_EXPECTED_DOWN = "health.expected_down"
 
 #: Fault injection (every injected fault is a trace event).
 FAULT_ARMED = "fault.armed"

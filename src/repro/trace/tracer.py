@@ -4,14 +4,33 @@ A :class:`Tracer` is created per middleware instance (one per simulated
 cluster) and handed to every instrumented component.  Components call
 :meth:`Tracer.emit`; analysis code reads :attr:`Tracer.events` or the
 canonical JSONL export.
+
+Recording is pay-as-you-go: ``emit`` appends one lightweight pending
+record (a plain tuple — no dataclass construction, no ``float()``
+boxing, no seq bookkeeping) and the pending records materialise into
+:class:`TraceEvent` objects lazily, on the first read of
+:attr:`Tracer.events`.  Simulations that never read their trace never
+pay for building it.  The ``mode`` knob drops even that cost:
+``"counts"`` keeps only the per-kind counters, ``"off"`` records
+nothing — and because ``emit`` never feeds back into simulation state,
+a run is byte-identical when re-run with tracing on (proved per
+experiment by the cross-mode diff in ``tests/trace/test_determinism.py``).
 """
 
 from __future__ import annotations
 
+import sys
 from collections import Counter
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.trace.events import TraceEvent
+
+#: Pending record layout: ``(kind, time, node, cycle, cause, fields)``.
+_Pending = Tuple[str, float, Optional[str], Optional[int], Optional[str],
+                 Dict[str, Any]]
+
+#: Valid ``Tracer.mode`` / ``MiddlewareConfig.trace_mode`` values.
+TRACE_MODES = ("full", "counts", "off")
 
 
 class Tracer:
@@ -20,42 +39,79 @@ class Tracer:
     ``kernel_events`` gates the very chatty simkernel hooks
     (``kernel.spawn``/``kernel.fire``/``kernel.timeout``); experiments
     leave it off and only the focused control-plane events are recorded.
+
+    ``mode`` selects how much work :meth:`emit` does: ``"full"``
+    (events + counts, the default), ``"counts"`` (counters only;
+    :attr:`events` stays empty) or ``"off"`` (nothing).  The legacy
+    ``enabled`` flag still mutes recording entirely when cleared.
     """
 
     def __init__(self, sim: Any, name: str = "trace",
-                 kernel_events: bool = False) -> None:
+                 kernel_events: bool = False, mode: str = "full") -> None:
+        if mode not in TRACE_MODES:
+            raise ValueError(
+                f"bad trace mode {mode!r} (expected one of {TRACE_MODES})"
+            )
         self.sim = sim
         self.name = name
         self.kernel_events = kernel_events
+        self.mode = mode
         self.enabled = True
-        self.events: List[TraceEvent] = []
         self.counts: Counter = Counter()
-        self._seq = 0
+        self._events: List[TraceEvent] = []
+        self._pending: List[_Pending] = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Tracer(name={self.name!r}, events={len(self.events)})"
+        n = len(self._events) + len(self._pending)
+        return f"Tracer(name={self.name!r}, events={n})"
 
     # -- recording -----------------------------------------------------------
 
     def emit(self, kind: str, *, node: Optional[str] = None,
              cycle: Optional[int] = None, cause: Optional[str] = None,
-             **fields: Any) -> Optional[TraceEvent]:
-        """Record one event at the current simulation time."""
+             **fields: Any) -> None:
+        """Record one event at the current simulation time.
+
+        The hot path of every instrumented component: in ``full`` mode
+        this is one tuple append plus a counter bump — the
+        :class:`TraceEvent` itself is built lazily by :attr:`events`.
+        """
         if not self.enabled:
-            return None
-        event = TraceEvent(
-            seq=self._seq,
-            time=float(self.sim.now),
-            kind=kind,
-            node=node,
-            cycle=cycle,
-            cause=cause,
-            fields=fields,
-        )
-        self._seq += 1
-        self.events.append(event)
-        self.counts[kind] += 1
-        return event
+            return
+        mode = self.mode
+        if mode == "full":
+            self._pending.append((kind, self.sim.now, node, cycle, cause, fields))
+            self.counts[kind] += 1
+        elif mode == "counts":
+            self.counts[kind] += 1
+
+    def _materialize(self) -> None:
+        """Turn pending records into :class:`TraceEvent` objects.
+
+        ``seq`` is assigned here as the running emission index — pending
+        records are only ever appended, so laziness cannot reorder them.
+        Kind strings are interned: most are module-level constants from
+        :mod:`repro.trace.events` already, and interning makes the kind
+        filters in :meth:`events_of` pointer-compare in the common case.
+        """
+        pending = self._pending
+        events = self._events
+        seq = len(events)
+        intern = sys.intern
+        append = events.append
+        for kind, time, node, cycle, cause, fields in pending:
+            append(TraceEvent(seq=seq, time=float(time), kind=intern(kind),
+                              node=node, cycle=cycle, cause=cause,
+                              fields=fields))
+            seq += 1
+        pending.clear()
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events, materialised on first read."""
+        if self._pending:
+            self._materialize()
+        return self._events
 
     # -- querying ------------------------------------------------------------
 

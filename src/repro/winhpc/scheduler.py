@@ -32,6 +32,12 @@ class WinHpcScheduler:
         self.mutation_epoch: int = 0
         #: jobs currently RUNNING (state bucket; avoids scanning self.jobs)
         self._running: Dict[int, WinHpcJob] = {}
+        #: cached ONLINE-node list in ``self.nodes`` insertion order.
+        #: Node *state* changes only happen in the six transition methods
+        #: below, which all reset this to None; job start/finish churn
+        #: (the hot path) leaves it valid, so ``online_nodes()`` stops
+        #: being an O(cluster) scan per scheduling decision.
+        self._online_cache: Optional[List[WinNodeRecord]] = None
         self._total_cores: int = 0
         self._node_os: Dict[str, object] = {}
         self._runners: Dict[int, object] = {}
@@ -58,6 +64,7 @@ class WinHpcScheduler:
             record.template = template
         self.nodes[hostname] = record
         self._total_cores += cores
+        self._online_cache = None
         self.mutation_epoch += 1
         return record
 
@@ -73,6 +80,7 @@ class WinHpcScheduler:
         # comes back with its old allocations booked: recover them first
         stranded = list(record.allocations)
         record.mark_online()
+        self._online_cache = None
         self.mutation_epoch += 1
         if os_instance is not None:
             self._node_os[hostname] = os_instance
@@ -88,6 +96,7 @@ class WinHpcScheduler:
         record = self.node(hostname)
         victims = list(record.allocations)
         record.mark_unreachable()
+        self._online_cache = None
         self.mutation_epoch += 1
         self._node_os.pop(hostname, None)
         for observer in self.node_observers:
@@ -130,6 +139,7 @@ class WinHpcScheduler:
             return out
         victims = list(record.allocations)
         record.mark_unreachable()
+        self._online_cache = None
         self.mutation_epoch += 1
         self._node_os.pop(hostname, None)
         for observer in self.node_observers:
@@ -145,6 +155,7 @@ class WinHpcScheduler:
     def cordon_node(self, hostname: str) -> None:
         """Admin drain: no new placements, running jobs keep running."""
         self.node(hostname).mark_draining()
+        self._online_cache = None
         self.mutation_epoch += 1
         if self.tracer is not None:
             self.tracer.emit(
@@ -153,6 +164,7 @@ class WinHpcScheduler:
 
     def uncordon_node(self, hostname: str) -> None:
         self.node(hostname).resume_online()
+        self._online_cache = None
         self.mutation_epoch += 1
         if self.tracer is not None:
             self.tracer.emit(
@@ -315,9 +327,18 @@ class WinHpcScheduler:
         # can start out of id order when priorities reorder the queue).
         return sorted(self._running.values(), key=lambda j: j.job_id)
 
+    # reprolint: disable=TRC002 -- read-only query; the only write is the memoised rebuild of _online_cache, invisible to any caller
     def online_nodes(self) -> List[WinNodeRecord]:
-        return [r for r in self.nodes.values() if r.state is WinNodeState.ONLINE]
+        cache = self._online_cache
+        if cache is None:
+            cache = [
+                r for r in self.nodes.values()
+                if r.state is WinNodeState.ONLINE
+            ]
+            self._online_cache = cache
+        return cache.copy()
 
+    # reprolint: disable=TRC002 -- read-only query; reaches the memoised _online_cache rebuild through online_nodes()
     def idle_nodes(self) -> List[WinNodeRecord]:
         return [r for r in self.online_nodes() if r.idle]
 

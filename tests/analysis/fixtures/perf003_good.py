@@ -1,0 +1,10 @@
+"""PERF003 negative: emitting through the tracer keeps the fast path.
+
+``Tracer.emit`` appends a lightweight pending tuple (or nothing at all
+in the ``counts``/``off`` trace modes); the ``TraceEvent`` records are
+materialised lazily, only if someone actually reads the trace.
+"""
+
+
+def record_recovery(tracer, node):
+    tracer.emit("health.recovered", node=node)

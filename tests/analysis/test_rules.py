@@ -35,6 +35,7 @@ EXPECTED = {
     "SUP001": {"SUP001"},
     "SUP002": {"SUP002"},
     "PERF001": {"PERF001"},
+    "PERF003": {"PERF003"},
 }
 
 #: Rules that are scoped to specific modules (not package-wide): their

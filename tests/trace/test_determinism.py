@@ -37,6 +37,64 @@ def test_battery_covers_all_simulation_experiments():
     )
 
 
+# -- trace_mode cross-checks -------------------------------------------------
+#
+# The pay-as-you-go tracer ("counts"/"off" modes) must be a pure
+# observer: turning recording down or off cannot perturb the simulation.
+# Proof: the identical (seed, scenario) pair is driven through the full
+# middleware stack once per mode and every scheduler-visible outcome
+# (the whole ScenarioResult) must be equal — and a "full" run *after*
+# the cheap-mode runs must export byte-for-byte what a fresh "full" run
+# exports.
+
+
+def _cross_mode_run(trace_mode):
+    from repro.compare import HybridSystem, run_scenario
+    from repro.core.config import MiddlewareConfig
+    from repro.simkernel import HOUR, MINUTE
+    from repro.workloads import MixedWorkload
+
+    horizon = 4 * HOUR
+    system = HybridSystem(
+        num_nodes=8, seed=SEED, version=2,
+        config=MiddlewareConfig(
+            version=2, check_cycle_s=10 * MINUTE, trace_mode=trace_mode
+        ),
+    )
+    jobs = MixedWorkload(
+        seed=SEED, rate_per_hour=6.0, windows_fraction=0.5,
+        horizon_s=horizon, max_cores=16, runtime_scale=0.25,
+    ).generate()
+    result = run_scenario(system, jobs, horizon)
+    return system.middleware.tracer, result
+
+
+def test_trace_mode_does_not_perturb_the_simulation():
+    full_tracer, full_result = _cross_mode_run("full")
+    counts_tracer, counts_result = _cross_mode_run("counts")
+    off_tracer, off_result = _cross_mode_run("off")
+
+    # identical scheduler-visible outcomes in every mode
+    assert counts_result == full_result
+    assert off_result == full_result
+
+    # "counts" keeps the exact per-kind tallies of a full run, minus events
+    assert counts_tracer.mode == "counts"
+    assert dict(counts_tracer.counts) == dict(full_tracer.counts)
+    assert counts_tracer.events == []
+    assert counts_tracer.export_jsonl() == ""
+
+    # "off" records nothing at all
+    assert off_tracer.events == []
+    assert dict(off_tracer.counts) == {}
+
+    # and a full-mode re-run after the cheap modes replays byte-identically
+    replay_tracer, replay_result = _cross_mode_run("full")
+    assert replay_result == full_result
+    assert replay_tracer.export_jsonl() == full_tracer.export_jsonl()
+    assert replay_tracer.export_jsonl()  # non-empty: the proof has teeth
+
+
 @pytest.mark.parametrize("experiment_id", SIMULATION_EXPERIMENTS)
 def test_same_seed_twice_gives_byte_identical_traces(experiment_id):
     first = _run(experiment_id)

@@ -45,8 +45,8 @@ def test_event_roundtrip_preserves_all_fields():
 
 def test_non_jsonable_fields_coerced_to_str(sim):
     tracer = Tracer(sim)
-    event = tracer.emit("x", obj=object(), nums=(1, 2))
-    decoded = json.loads(event.to_json())
+    tracer.emit("x", obj=object(), nums=(1, 2))
+    decoded = json.loads(tracer.events[-1].to_json())
     assert isinstance(decoded["fields"]["obj"], str)
     assert decoded["fields"]["nums"] == [1, 2]
 
