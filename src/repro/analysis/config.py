@@ -37,6 +37,8 @@ SUBSTRATE_PACKAGES = (
     "repro.storage",
     "repro.pbs",
     "repro.winhpc",
+    "repro.slurm",
+    "repro.sched",
     "repro.oscar",
     "repro.windeploy",
     "repro.apps",
@@ -129,6 +131,21 @@ def default_config() -> LintConfig:
         ),
         # API hygiene (mutable defaults, bare except): error everywhere.
         "API001": RulePolicy(default=error),
+        # Scheduler-personality layering: the control plane speaks only
+        # repro.sched — direct personality imports are an error inside
+        # the audited modules and harmless elsewhere (the personality
+        # packages obviously import themselves).
+        "API002": RulePolicy(
+            default=Severity.OFF,
+            overrides={
+                "repro.core.middleware": error,
+                "repro.core.communicator": error,
+                "repro.core.daemon": error,
+                "repro.core.elasticity": error,
+                "repro.health": error,
+                "repro.energy": error,
+            },
+        ),
         # Suppression-comment hygiene is not scopeable: always an error.
         "SUP001": RulePolicy(default=error),
         "SUP002": RulePolicy(default=error),
@@ -149,6 +166,7 @@ def default_config() -> LintConfig:
             overrides={
                 "repro.pbs.server": error,
                 "repro.winhpc.scheduler": error,
+                "repro.slurm.controller": error,
                 "repro.health": error,
                 "repro.core.elasticity": error,
             },

@@ -8,6 +8,7 @@ see docs/STATIC_ANALYSIS.md ("Adding a rule") for the full checklist.
 from repro.analysis.rules import (  # noqa: F401  (side effect: registration)
     determinism,
     hygiene,
+    layering,
     ordering,
     perf,
     tracing,

@@ -1,0 +1,71 @@
+"""API002 — scheduler-personality layering: the control plane must not
+import a concrete scheduler package.
+
+The middleware, switch pipeline, health fencing, elasticity and energy
+accounting speak only :class:`repro.sched.SchedulerPersonality`; the
+concrete personalities (``repro.pbs``, ``repro.winhpc``,
+``repro.slurm``) are reachable solely through the ``repro.sched``
+factories.  A direct import from a personality package re-couples the
+control plane to one scheduler and silently breaks the pairing matrix
+(PBS↔WinHPC / PBS↔SLURM), so inside the audited modules it is an error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, RuleContext, register
+
+#: Concrete scheduler packages the control plane must reach only through
+#: the ``repro.sched`` factories.
+PERSONALITY_PACKAGES = ("repro.pbs", "repro.winhpc", "repro.slurm")
+
+
+def _banned_prefix(module: str) -> str | None:
+    for prefix in PERSONALITY_PACKAGES:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+@register
+class SchedulerLayeringRule(Rule):
+    id = "API002"
+    summary = "control plane imports a concrete scheduler package"
+    rationale = (
+        "The dual-boot control plane is scheduler-agnostic: it speaks "
+        "repro.sched.SchedulerPersonality and obtains concrete "
+        "schedulers/detectors via the repro.sched factories.  Importing "
+        "repro.pbs, repro.winhpc or repro.slurm directly re-couples the "
+        "audited module to one personality and breaks the pairing "
+        "matrix; route the dependency through repro.sched instead."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    prefix = _banned_prefix(alias.name)
+                    if prefix is not None:
+                        yield self.finding(
+                            ctx, node,
+                            f"import of {alias.name!r} couples this "
+                            f"control-plane module to the {prefix} "
+                            "personality — go through the repro.sched "
+                            "factories",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level != 0 or node.module is None:
+                    continue
+                prefix = _banned_prefix(node.module)
+                if prefix is not None:
+                    names = ", ".join(a.name for a in node.names)
+                    yield self.finding(
+                        ctx, node,
+                        f"from {node.module} import {names} couples this "
+                        f"control-plane module to the {prefix} "
+                        "personality — go through the repro.sched "
+                        "factories",
+                    )

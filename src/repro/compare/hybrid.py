@@ -9,9 +9,8 @@ from repro.core.config import MiddlewareConfig
 from repro.core.middleware import DualBootOscar, build_hybrid_cluster
 from repro.core.policy import SwitchPolicy
 from repro.errors import SchedulerError
-from repro.pbs.script import JobSpec
+from repro.sched import JobRequest
 from repro.simkernel import Simulator
-from repro.winhpc.job import WinJobSpec, WinJobUnit
 from repro.workloads.jobs import WorkloadJob
 
 
@@ -53,23 +52,18 @@ class HybridSystem(ComparableSystem):
         self.middleware.finalize()
 
     def submit(self, job: WorkloadJob) -> None:
+        if job.os_name == "linux":
+            nodes, ppn = cores_to_pbs_shape(job.cores)
+            request = JobRequest(
+                name=job.name, nodes=nodes, ppn=ppn,
+                runtime_s=job.runtime_s, tag=job.tag,
+            )
+        else:
+            request = JobRequest(
+                name=job.name, cores=job.cores,
+                runtime_s=job.runtime_s, tag=job.tag,
+            )
         try:
-            if job.os_name == "linux":
-                nodes, ppn = cores_to_pbs_shape(job.cores)
-                self.middleware.pbs.qsub(
-                    JobSpec(
-                        name=job.name, nodes=nodes, ppn=ppn,
-                        runtime_s=job.runtime_s, tag=job.tag,
-                    ),
-                    owner=self.middleware.config.pbs_user,
-                )
-            else:
-                self.middleware.winhpc.submit(
-                    WinJobSpec(
-                        name=job.name, unit=WinJobUnit.CORE,
-                        amount=job.cores, runtime_s=job.runtime_s,
-                        tag=job.tag,
-                    )
-                )
+            self.middleware.submit(job.os_name, request)
         except SchedulerError:
             self.rejected += 1

@@ -34,23 +34,13 @@ from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.core.controller import BootController
-from repro.core.detector import PbsDetector, WinHpcDetector
 from repro.core.policy import ClusterView, SwitchDecision, SwitchPolicy
-from repro.core.switchjob import (
-    SWITCH_TAG,
-    OrderState,
-    SwitchOrderRecord,
-    pbs_switch_jobspec,
-)
+from repro.core.switchjob import OrderState, SwitchOrderRecord
 from repro.core.wire import QueueStateMessage
 from repro.errors import MiddlewareError
 from repro.netsvc.network import Host, Message, PortListener
-from repro.pbs.job import JobState
-from repro.pbs.server import PbsServer
 from repro.simkernel import MINUTE, Simulator, Timeout
 from repro.simkernel.rng import RngStreams
-from repro.winhpc.job import WinJobSpec, WinJobState, WinJobUnit
-from repro.winhpc.scheduler import WinHpcScheduler
 
 #: Default watchdog deadline for one switch order: a reboot costs 3-5
 #: minutes (E1), so three times that is unambiguous failure.
@@ -80,8 +70,8 @@ class SwitchOrders:
 
     def __init__(
         self,
-        pbs: PbsServer,
-        winhpc: WinHpcScheduler,
+        pbs: Any,
+        winhpc: Any,
         controller: BootController,
         pbs_user: str = "sliang",
         order_timeout_s: float = DEFAULT_ORDER_TIMEOUT_S,
@@ -109,22 +99,12 @@ class SwitchOrders:
     # -- in-flight accounting ------------------------------------------------
 
     def pending_to_windows(self) -> int:
-        """Switch jobs alive on the PBS side (nodes heading to Windows)."""
-        return sum(
-            1
-            for job in self.pbs.jobs.values()
-            if job.tag == SWITCH_TAG
-            and job.state in (JobState.QUEUED, JobState.RUNNING)
-        )
+        """Switch jobs alive on the Linux side (nodes heading to Windows)."""
+        return self.pbs.pending_switch_jobs()
 
     def pending_to_linux(self) -> int:
-        """Switch jobs alive on the WinHPC side (nodes heading to Linux)."""
-        return sum(
-            1
-            for job in self.winhpc.jobs.values()
-            if job.tag == SWITCH_TAG
-            and job.state in (WinJobState.QUEUED, WinJobState.RUNNING)
-        )
+        """Switch jobs alive on the Windows side (nodes heading to Linux)."""
+        return self.winhpc.pending_switch_jobs()
 
     def in_flight(self, target_os: str) -> int:
         """Unresolved orders toward *target_os* — the watchdog-backed count.
@@ -152,28 +132,14 @@ class SwitchOrders:
             if self.tracer is not None:
                 self.tracer.emit("control.flag_set", target=target)
         if target == "windows":
-            script = self.controller.linux_switch_script("windows")
-            for _ in range(decision.num_nodes):
-                spec = pbs_switch_jobspec(script)
-                jobid = self.pbs.qsub(spec, owner=self.pbs_user)
-                self._record(target, jobid)
+            donor, script = self.pbs, self.controller.linux_switch_script("windows")
+            owner = self.pbs_user
         else:
-            script = self.controller.windows_switch_script("linux")
-            for _ in range(decision.num_nodes):
-                job = self.winhpc.submit(
-                    WinJobSpec(
-                        name="release_1_node",
-                        unit=WinJobUnit.NODE,
-                        amount=1,
-                        script=script,
-                        tag=SWITCH_TAG,
-                        # mirrors the PBS scripts' `#PBS -r n`: a switch
-                        # job rerun elsewhere would reboot the wrong node
-                        rerunnable=False,
-                    ),
-                    owner="dualboot-oscar",
-                )
-                self._record(target, str(job.job_id))
+            donor, script = self.winhpc, self.controller.windows_switch_script("linux")
+            owner = "dualboot-oscar"
+        for _ in range(decision.num_nodes):
+            jobid = donor.submit_switch_job(script, owner=owner)
+            self._record(target, jobid)
 
     def _record(self, target_os: str, jobid: str) -> None:
         now = self.pbs.sim.now
@@ -200,11 +166,11 @@ class SwitchOrders:
     # -- confirmation (node joined the target scheduler) ---------------------
 
     def _on_pbs_node_event(self, event: str, hostname: str) -> None:
-        if event == "up":
+        if event == self.pbs.join_event:
             self._confirm("linux", hostname)
 
     def _on_win_node_event(self, event: str, hostname: str) -> None:
-        if event == "online":
+        if event == self.winhpc.join_event:
             self._confirm("windows", hostname)
 
     def _confirm(self, target_os: str, hostname: str) -> None:
@@ -284,14 +250,8 @@ class SwitchOrders:
         return expired
 
     def _cancel_stale_job(self, order: SwitchOrderRecord) -> None:
-        if order.target_os == "windows":
-            job = self.pbs.jobs.get(order.jobid)
-            if job is not None and job.state is JobState.QUEUED:
-                self.pbs.qdel(order.jobid)
-        else:
-            job = self.winhpc.jobs.get(int(order.jobid))
-            if job is not None and job.state is WinJobState.QUEUED:
-                self.winhpc.cancel(job.job_id)
+        donor = self.pbs if order.target_os == "windows" else self.winhpc
+        donor.cancel_if_queued(order.jobid)
 
 
 class LinuxCommunicator:
@@ -301,7 +261,7 @@ class LinuxCommunicator:
         self,
         sim: Simulator,
         listener: PortListener,
-        detector: PbsDetector,
+        detector: Any,
         policy: SwitchPolicy,
         orders: SwitchOrders,
         cores_per_node: int = 4,
@@ -351,14 +311,14 @@ class LinuxCommunicator:
         win = self.orders.winhpc
         linux_view = ClusterView(
             state=linux_report.message,
-            idle_nodes=sum(1 for r in pbs.up_nodes() if not r.busy),
-            total_nodes=len(pbs.up_nodes()),
+            idle_nodes=pbs.idle_node_count(),
+            total_nodes=pbs.online_node_count(),
             pending_switches=self.orders.in_flight("linux"),
         )
         windows_view = ClusterView(
             state=windows_state,
-            idle_nodes=len(win.idle_nodes()),
-            total_nodes=len(win.online_nodes()),
+            idle_nodes=win.idle_node_count(),
+            total_nodes=win.online_node_count(),
             pending_switches=self.orders.in_flight("windows"),
         )
         return linux_report, linux_view, windows_view
@@ -495,7 +455,7 @@ class WindowsCommunicator:
         self,
         sim: Simulator,
         host: Host,
-        detector: WinHpcDetector,
+        detector: Any,
         linux_head: str,
         port: int,
         cycle_s: float,

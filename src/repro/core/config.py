@@ -1,15 +1,85 @@
-"""Middleware configuration."""
+"""Middleware configuration.
+
+Knob families live in nested groups (:class:`ElasticConfig`,
+:class:`EnergyConfig`, :class:`TraceConfig`); the historical flat
+spellings (``elastic_enabled=...``, ``energy_metering=...``,
+``trace_mode=...``) are still accepted as constructor keywords — mapped
+onto the groups with a :class:`DeprecationWarning` — and readable as
+deprecated alias properties, pending removal.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.simkernel.timeunits import MINUTE
 
 #: TCP port the Linux communicator listens on.
 COMMUNICATOR_PORT = 5800
+
+#: Scheduler personalities accepted for the Windows side of the pairing.
+WINDOWS_SCHEDULER_KINDS = ("winhpc", "slurm")
+
+
+@dataclass
+class ElasticConfig:
+    """Power-aware elasticity: suspend idle nodes, wake/provision under
+    queue pressure (the tri-stable extension; disabled = the paper's
+    always-on bi-stable cluster)."""
+
+    enabled: bool = False
+    cycle_s: float = 5 * MINUTE
+    #: consecutive surplus evaluations required before suspending anything
+    hysteresis_cycles: int = 2
+    #: never suspend below this many UP nodes per OS side
+    min_online: int = 1
+    #: idle nodes to keep warm beyond the floor before suspending the rest
+    idle_surplus: int = 1
+    #: per-evaluation action budget (suspends or wakes per side per cycle)
+    max_actions: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cycle_s <= 0:
+            raise ConfigurationError("elastic cycle_s must be positive")
+        if self.hysteresis_cycles < 1:
+            raise ConfigurationError(
+                "elastic hysteresis_cycles must be >= 1"
+            )
+        if self.min_online < 0:
+            raise ConfigurationError("elastic min_online must be >= 0")
+        if self.idle_surplus < 0:
+            raise ConfigurationError("elastic idle_surplus must be >= 0")
+        if self.max_actions < 1:
+            raise ConfigurationError("elastic max_actions must be >= 1")
+
+
+@dataclass
+class EnergyConfig:
+    """Energy accounting."""
+
+    #: meter every node's watt draw into the trace
+    metering: bool = True
+
+
+@dataclass
+class TraceConfig:
+    """Trace-export behaviour."""
+
+    #: how much the tracer records: "full" (events + counts), "counts"
+    #: (per-kind counters only) or "off".  Tracing never feeds back into
+    #: simulation state, so any mode replays byte-identically when re-run
+    #: with tracing on (see docs/OBSERVABILITY.md).
+    mode: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("full", "counts", "off"):
+            raise ConfigurationError(
+                f"bad trace mode {self.mode!r} "
+                "(expected 'full', 'counts' or 'off')"
+            )
 
 
 @dataclass
@@ -19,7 +89,7 @@ class MiddlewareConfig:
     Defaults follow the paper: v2 middleware, a 10-minute communicator
     cycle ("fixed cycles (intervals), e.g. 10mins", §IV.A.3), 150 GB
     reserved for Windows on 250 GB disks (§III.C.2), everything starting
-    in Linux.
+    in Linux, PBS↔WinHPC as the scheduler pairing.
     """
 
     version: int = 2
@@ -57,28 +127,15 @@ class MiddlewareConfig:
     #: checkpoint model: work in whole multiples of this interval survives
     #: an eviction (``None`` = no checkpointing, everything is lost)
     checkpoint_interval_s: Optional[float] = None
-    #: energy accounting: meter every node's watt draw into the trace
-    energy_metering: bool = True
-    #: power-aware elasticity: suspend idle nodes, wake/provision under
-    #: queue pressure (the tri-stable extension; off = the paper's
-    #: always-on bi-stable cluster)
-    elastic_enabled: bool = False
-    elastic_cycle_s: float = 5 * MINUTE
-    #: consecutive surplus evaluations required before suspending anything
-    elastic_hysteresis_cycles: int = 2
-    #: never suspend below this many UP nodes per OS side
-    elastic_min_online: int = 1
-    #: idle nodes to keep warm beyond the floor before suspending the rest
-    elastic_idle_surplus: int = 1
-    #: per-evaluation action budget (suspends or wakes per side per cycle)
-    elastic_max_actions: int = 2
     #: trailing nodes that start DEPROVISIONED (the cloud-burst pool)
     burst_nodes: int = 0
-    #: how much the tracer records: "full" (events + counts), "counts"
-    #: (per-kind counters only) or "off".  Tracing never feeds back into
-    #: simulation state, so any mode replays byte-identically when re-run
-    #: with tracing on (see docs/OBSERVABILITY.md).
-    trace_mode: str = "full"
+    #: scheduler personality for the Windows side of the pairing (the
+    #: Linux side is always the OSCAR-installed PBS)
+    windows_scheduler: str = "winhpc"
+    #: nested knob groups (flat spellings are deprecated, see module doc)
+    elastic: ElasticConfig = field(default_factory=ElasticConfig)
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
+    trace: TraceConfig = field(default_factory=TraceConfig)
 
     def __post_init__(self) -> None:
         if self.version not in (1, 2):
@@ -113,22 +170,100 @@ class MiddlewareConfig:
             raise ConfigurationError(
                 "checkpoint_interval_s must be positive when set"
             )
-        if self.elastic_cycle_s <= 0:
-            raise ConfigurationError("elastic_cycle_s must be positive")
-        if self.elastic_hysteresis_cycles < 1:
-            raise ConfigurationError(
-                "elastic_hysteresis_cycles must be >= 1"
-            )
-        if self.elastic_min_online < 0:
-            raise ConfigurationError("elastic_min_online must be >= 0")
-        if self.elastic_idle_surplus < 0:
-            raise ConfigurationError("elastic_idle_surplus must be >= 0")
-        if self.elastic_max_actions < 1:
-            raise ConfigurationError("elastic_max_actions must be >= 1")
         if self.burst_nodes < 0:
             raise ConfigurationError("burst_nodes must be >= 0")
-        if self.trace_mode not in ("full", "counts", "off"):
+        if self.windows_scheduler not in WINDOWS_SCHEDULER_KINDS:
             raise ConfigurationError(
-                f"bad trace_mode {self.trace_mode!r} "
-                "(expected 'full', 'counts' or 'off')"
+                f"bad windows_scheduler {self.windows_scheduler!r} "
+                f"(expected one of {', '.join(WINDOWS_SCHEDULER_KINDS)})"
             )
+
+    # -- deprecated flat aliases (pending removal) ---------------------------
+    # Read-only views of the nested groups under their historical names;
+    # the constructor keywords of the same spelling still work (with a
+    # DeprecationWarning) via the compat __init__ below.
+
+    @property
+    def elastic_enabled(self) -> bool:
+        """Deprecated alias for ``elastic.enabled``."""
+        return self.elastic.enabled
+
+    @property
+    def elastic_cycle_s(self) -> float:
+        """Deprecated alias for ``elastic.cycle_s``."""
+        return self.elastic.cycle_s
+
+    @property
+    def elastic_hysteresis_cycles(self) -> int:
+        """Deprecated alias for ``elastic.hysteresis_cycles``."""
+        return self.elastic.hysteresis_cycles
+
+    @property
+    def elastic_min_online(self) -> int:
+        """Deprecated alias for ``elastic.min_online``."""
+        return self.elastic.min_online
+
+    @property
+    def elastic_idle_surplus(self) -> int:
+        """Deprecated alias for ``elastic.idle_surplus``."""
+        return self.elastic.idle_surplus
+
+    @property
+    def elastic_max_actions(self) -> int:
+        """Deprecated alias for ``elastic.max_actions``."""
+        return self.elastic.max_actions
+
+    @property
+    def energy_metering(self) -> bool:
+        """Deprecated alias for ``energy.metering``."""
+        return self.energy.metering
+
+    @property
+    def trace_mode(self) -> str:
+        """Deprecated alias for ``trace.mode``."""
+        return self.trace.mode
+
+
+#: flat keyword -> (nested group field, attribute within the group)
+_FLAT_KNOBS: Dict[str, Tuple[str, str]] = {
+    "elastic_enabled": ("elastic", "enabled"),
+    "elastic_cycle_s": ("elastic", "cycle_s"),
+    "elastic_hysteresis_cycles": ("elastic", "hysteresis_cycles"),
+    "elastic_min_online": ("elastic", "min_online"),
+    "elastic_idle_surplus": ("elastic", "idle_surplus"),
+    "elastic_max_actions": ("elastic", "max_actions"),
+    "energy_metering": ("energy", "metering"),
+    "trace_mode": ("trace", "mode"),
+}
+
+_generated_init = MiddlewareConfig.__init__
+
+
+def _compat_init(self: MiddlewareConfig, *args: object, **kwargs: object) -> None:
+    """Accept the deprecated flat knob spellings as keywords.
+
+    Flat keywords are folded into their nested group (``replace`` re-runs
+    the group's validation) after the generated ``__init__`` builds the
+    groups from defaults or explicit ``elastic=``/``energy=``/``trace=``
+    arguments.
+    """
+    moved: Dict[str, Dict[str, object]] = {}
+    seen = []
+    for flat, (group, attr) in _FLAT_KNOBS.items():
+        if flat in kwargs:
+            moved.setdefault(group, {})[attr] = kwargs.pop(flat)
+            seen.append(flat)
+    if moved:
+        warnings.warn(
+            "flat MiddlewareConfig knobs are deprecated and pending "
+            f"removal; use the nested groups instead (saw: "
+            f"{', '.join(sorted(seen))})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    _generated_init(self, *args, **kwargs)
+    for group, changes in moved.items():
+        setattr(self, group, replace(getattr(self, group), **changes))
+
+
+MiddlewareConfig.__init__ = _compat_init  # type: ignore[method-assign]

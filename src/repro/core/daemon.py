@@ -30,17 +30,13 @@ from repro.core.communicator import (
     WindowsCommunicator,
 )
 from repro.core.controller import BootController
-from repro.core.detector import PbsDetector, WinHpcDetector
 from repro.core.policy import SwitchPolicy
 from repro.errors import MiddlewareError
 from repro.hardware.cluster import Cluster
 from repro.netsvc.network import Host
-from repro.pbs.commands import PbsCommands
-from repro.pbs.server import PbsServer
+from repro.sched import create_detector
 from repro.simkernel import MINUTE, Process, Simulator, Timeout
 from repro.simkernel.rng import RngStreams
-from repro.winhpc.scheduler import WinHpcScheduler
-from repro.winhpc.sdk import HpcSchedulerConnection
 
 
 def _ticker_loop(linux: LinuxCommunicator, cycle_s: float):
@@ -154,8 +150,8 @@ class DualBootDaemons:
 
 def start_daemons(
     cluster: Cluster,
-    pbs: PbsServer,
-    winhpc: WinHpcScheduler,
+    pbs: Any,
+    winhpc: Any,
     controller: BootController,
     policy: SwitchPolicy,
     cycle_s: float,
@@ -195,9 +191,9 @@ def start_daemons(
     linux_daemon = LinuxCommunicator(
         sim=sim,
         listener=listener,
-        detector=PbsDetector(
-            PbsCommands(pbs, default_user=pbs_user), eager=eager_detectors,
-            tracer=tracer, node_name=cluster.linux_head.name,
+        detector=create_detector(
+            pbs, eager=eager_detectors,
+            tracer=tracer, node_name=cluster.linux_head.name, user=pbs_user,
         ),
         policy=policy,
         orders=orders,
@@ -209,13 +205,11 @@ def start_daemons(
         tracer=tracer,
     )
 
-    sdk = HpcSchedulerConnection()
-    sdk.connect(winhpc)
     windows_daemon = WindowsCommunicator(
         sim=sim,
         host=cluster.windows_head.host,
-        detector=WinHpcDetector(
-            sdk, eager=eager_detectors,
+        detector=create_detector(
+            winhpc, eager=eager_detectors,
             tracer=tracer, node_name=cluster.windows_head.name,
         ),
         linux_head=cluster.linux_head.name,

@@ -225,22 +225,15 @@ class ElasticityManager:
 
     def _idle_nodes(self, side: str) -> List[ComputeNode]:
         """Healthy, schedulable, zero-allocation UP nodes of *side*."""
+        scheduler = self.pbs if side == "linux" else self.winhpc
         out: List[ComputeNode] = []
         for node in self.cluster.compute_nodes:
             if node.state is not NodeState.UP or node.os_name != side:
                 continue
             if not self._healthy(node.name):
                 continue
-            if side == "linux":
-                record = self.pbs.nodes.get(self.pbs.fqdn(node.name))
-                if record is None or record.busy:
-                    continue
-                if record.state.value in ("down", "offline"):
-                    continue
-            else:
-                record = self.winhpc.nodes.get(node.name)
-                if record is None or not record.idle:
-                    continue
+            if not scheduler.node_idle(node.name):
+                continue
             out.append(node)
         return out
 
@@ -265,10 +258,8 @@ class ElasticityManager:
         """Stop new placements before the orderly shutdown.  No uncordon
         bookkeeping is needed: the schedulers' rejoin paths clear the
         offline/draining mark unconditionally."""
-        if side == "linux":
-            self.pbs.cordon_node(hostname)
-        else:
-            self.winhpc.cordon_node(hostname)
+        scheduler = self.pbs if side == "linux" else self.winhpc
+        scheduler.cordon_node(hostname)
 
     def _decide(
         self,

@@ -25,7 +25,8 @@ control plane           per-node controlmenu switching  head-node flag + plain
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import warnings
+from typing import Any, Dict, List, Optional
 
 from repro.core.config import MiddlewareConfig
 from repro.core.controller import BootController, DualBootMenuSpec
@@ -47,9 +48,7 @@ from repro.oscar.patches import apply_v2_patches
 from repro.oscar.systemimager import deploy_image_to_disk
 from repro.oscar.wizard import OscarWizard
 from repro.oslayer.base import OSInstance
-from repro.pbs.commands import PbsCommands
-from repro.pbs.script import JobSpec
-from repro.pbs.server import PbsServer
+from repro.sched import JobRequest, SchedulerPersonality, create_scheduler
 from repro.simkernel import MINUTE, Simulator
 from repro.trace import Tracer
 from repro.storage.diskpart import (
@@ -57,14 +56,20 @@ from repro.storage.diskpart import (
     REIMAGE_DISKPART_TXT_V2,
 )
 from repro.storage.mbr import BootCode
-from repro.winhpc.job import WinJobSpec, WinJobUnit
-from repro.winhpc.scheduler import WinHpcScheduler
 from repro.windeploy.deploytool import WindowsDeployTool
 from repro.windeploy.installshare import InstallShare
 
 
 class DualBootOscar:
-    """A deployed (or deployable) dualboot-oscar hybrid cluster."""
+    """A deployed (or deployable) dualboot-oscar hybrid cluster.
+
+    The control plane never talks to a concrete scheduler class: each OS
+    side holds a :class:`~repro.sched.SchedulerPersonality` (built via
+    :func:`~repro.sched.create_scheduler`), and everything here — job
+    submission, fencing, metering, reporting — goes through that seam.
+    reprolint rule API002 keeps ``repro.pbs``/``repro.winhpc``/
+    ``repro.slurm`` imports out of this module.
+    """
 
     def __init__(
         self,
@@ -79,14 +84,25 @@ class DualBootOscar:
         self.recorder = ClusterRecorder()
         self.tracer = Tracer(
             cluster.sim, name=f"dualboot-v{self.config.version}",
-            mode=self.config.trace_mode,
+            mode=self.config.trace.mode,
         )
         cluster.sim.tracer = self.tracer
 
         self.wizard = OscarWizard(cluster)
-        self.winhpc = WinHpcScheduler(cluster.sim, cluster.windows_head.name)
+        linux_scheduler = self.wizard.installation.pbs
+        linux_scheduler.default_owner = self.config.pbs_user
+        #: per-OS-side scheduler personalities (insertion order linux,
+        #: windows — fencing/metering loops rely on it for determinism)
+        self.schedulers: Dict[str, SchedulerPersonality] = {
+            "linux": linux_scheduler,
+            "windows": create_scheduler(
+                self.config.windows_scheduler,
+                cluster.sim,
+                head_name=cluster.windows_head.name,
+            ),
+        }
         self.share = InstallShare(cluster.windows_head.os)
-        self.deploy_tool = WindowsDeployTool(self.share, self.winhpc)
+        self.deploy_tool = WindowsDeployTool(self.share, self.schedulers["windows"])
         self.controller: Optional[BootController] = None
         self.daemons: Optional[DualBootDaemons] = None
         self.menu_spec: Optional[DualBootMenuSpec] = None
@@ -102,16 +118,33 @@ class DualBootOscar:
         return self.cluster.sim
 
     @property
-    def pbs(self) -> PbsServer:
-        return self.wizard.installation.pbs
+    def pbs(self) -> Any:
+        """The Linux-side personality (the OSCAR-installed PBS)."""
+        return self.schedulers["linux"]
 
     @property
-    def pbs_commands(self) -> PbsCommands:
-        return PbsCommands(self.pbs, default_user=self.config.pbs_user)
+    def winhpc(self) -> Any:
+        """The Windows-side personality (WinHPC unless
+        ``config.windows_scheduler`` picked another kind)."""
+        return self.schedulers["windows"]
+
+    @property
+    def pbs_commands(self) -> Any:
+        return self.pbs.make_commands(default_user=self.config.pbs_user)
 
     @property
     def version(self) -> int:
         return self.config.version
+
+    def scheduler(self, side: str) -> SchedulerPersonality:
+        """The personality running one OS side ("linux" or "windows")."""
+        try:
+            return self.schedulers[side]
+        except KeyError:
+            raise MiddlewareError(
+                f"unknown scheduler side {side!r} "
+                f"(expected one of: {', '.join(self.schedulers)})"
+            ) from None
 
     # -- deployment ---------------------------------------------------------------
 
@@ -138,7 +171,7 @@ class DualBootOscar:
         self._build_controller(image)
         self._prepare_nodes()
         # node-failure resilience: recovery policy + heartbeat monitor
-        for scheduler in (self.pbs, self.winhpc):
+        for scheduler in self.schedulers.values():
             scheduler.tracer = self.tracer
             scheduler.max_job_restarts = config.job_max_restarts
             scheduler.checkpoint_interval_s = config.checkpoint_interval_s
@@ -151,7 +184,7 @@ class DualBootOscar:
                 tracer=self.tracer,
             )
             self.health.on_fence.append(self._on_node_fenced)
-        if config.energy_metering:
+        if config.energy.metering:
             self.energy = EnergyMeter(self.sim, tracer=self.tracer)
         for node in self.cluster.compute_nodes:
             node.provisioners.append(self._dualboot_provisioner)
@@ -162,11 +195,11 @@ class DualBootOscar:
             self.recorder.attach_node(node)
             if self.energy is not None:
                 self.energy.attach_node(node)
-        self.recorder.attach_pbs(self.pbs)
-        self.recorder.attach_winhpc(self.winhpc)
+        for personality in self.schedulers.values():
+            self.recorder.attach_scheduler(personality)
         if self.energy is not None:
-            self.energy.attach_pbs(self.pbs)
-            self.energy.attach_winhpc(self.winhpc)
+            for personality in self.schedulers.values():
+                self.energy.attach_scheduler(personality)
         self._deployed = True
         if self.health is not None:
             self.health.start()
@@ -191,19 +224,19 @@ class DualBootOscar:
             rng=self.cluster.rng,
             tracer=self.tracer,
         )
-        if config.elastic_enabled:
+        if config.elastic.enabled:
             self.elasticity = ElasticityManager(
                 sim=self.sim,
                 cluster=self.cluster,
                 pbs=self.pbs,
                 winhpc=self.winhpc,
                 policy=ElasticityPolicy(
-                    min_online=config.elastic_min_online,
-                    hysteresis_cycles=config.elastic_hysteresis_cycles,
-                    idle_surplus=config.elastic_idle_surplus,
-                    max_actions_per_cycle=config.elastic_max_actions,
+                    min_online=config.elastic.min_online,
+                    hysteresis_cycles=config.elastic.hysteresis_cycles,
+                    idle_surplus=config.elastic.idle_surplus,
+                    max_actions_per_cycle=config.elastic.max_actions,
                 ),
-                cycle_s=config.elastic_cycle_s,
+                cycle_s=config.elastic.cycle_s,
                 orders=self.daemons.orders,
                 health=self.health,
                 linux_comm=self.daemons.linux,
@@ -340,15 +373,16 @@ class DualBootOscar:
         health monitor fences the node — but their runners must stop
         making progress the instant the power goes.
         """
-        self.pbs.node_crashed(node.name)
-        self.winhpc.node_crashed(node.name)
+        for scheduler in self.schedulers.values():
+            scheduler.node_crashed(node.name)
 
     def _on_node_fenced(self, hostname: str) -> None:
         """Health-monitor fence: evict jobs, abort dead switch orders."""
-        pbs_out = self.pbs.fence_node(hostname, cause="node fenced")
-        win_out = self.winhpc.fence_node(hostname, cause="node fenced")
+        failed: List[str] = []
+        for scheduler in self.schedulers.values():
+            out = scheduler.fence_node(hostname, cause="node fenced")
+            failed.extend(out["failed"])
         if self.daemons is not None:
-            failed = pbs_out["failed"] + win_out["failed"]
             if failed:
                 self.daemons.orders.abort_jobs(
                     failed, cause=f"node {hostname} fenced"
@@ -410,6 +444,15 @@ class DualBootOscar:
                 f"nodes not up after {timeout_s:.0f}s: {', '.join(not_up)}"
             )
 
+    def submit(self, side: str, request: JobRequest) -> str:
+        """Submit a workload job to one OS side; returns the job id.
+
+        The one submission API: the side's personality translates the
+        scheduler-neutral :class:`~repro.sched.JobRequest` into its own
+        job spec.
+        """
+        return self.scheduler(side).submit_request(request)
+
     def submit_linux_job(
         self,
         name: str,
@@ -419,11 +462,23 @@ class DualBootOscar:
         user: Optional[str] = None,
         tag: str = "",
     ) -> str:
-        """Submit a plain workload job to the PBS side; returns the jobid."""
-        spec = JobSpec(
-            name=name, nodes=nodes, ppn=ppn, runtime_s=runtime_s, tag=tag
+        """Deprecated shim over ``submit("linux", JobRequest(...))``.
+
+        Pending removal — migrate to :meth:`submit`.
+        """
+        warnings.warn(
+            "submit_linux_job() is deprecated and pending removal; use "
+            'submit("linux", JobRequest(name=..., nodes=..., ppn=...))',
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return self.pbs.qsub(spec, owner=user or self.config.pbs_user)
+        return self.submit(
+            "linux",
+            JobRequest(
+                name=name, nodes=nodes, ppn=ppn, runtime_s=runtime_s,
+                owner=user, tag=tag,
+            ),
+        )
 
     def submit_windows_job(
         self,
@@ -433,14 +488,25 @@ class DualBootOscar:
         owner: str = "HPCUser",
         tag: str = "",
     ):
-        """Submit a plain workload job to the Windows HPC side."""
-        return self.winhpc.submit(
-            WinJobSpec(
-                name=name, unit=WinJobUnit.CORE, amount=cores,
-                runtime_s=runtime_s, tag=tag,
-            ),
-            owner=owner,
+        """Deprecated shim over ``submit("windows", JobRequest(...))``.
+
+        Pending removal — migrate to :meth:`submit`.  Keeps the legacy
+        return type: the scheduler's native job object, not the job id.
+        """
+        warnings.warn(
+            "submit_windows_job() is deprecated and pending removal; use "
+            'submit("windows", JobRequest(name=..., cores=...))',
+            DeprecationWarning,
+            stacklevel=2,
         )
+        jobid = self.submit(
+            "windows",
+            JobRequest(
+                name=name, cores=cores, runtime_s=runtime_s, owner=owner,
+                tag=tag,
+            ),
+        )
+        return self.scheduler("windows").get_job(jobid)
 
     def nodes_by_os(self) -> Dict[str, List[str]]:
         """Current OS occupancy, for reporting."""
@@ -482,14 +548,12 @@ class DualBootOscar:
                 (last.via or last.error or "-") if last else "-",
             ])
         lines.append(table.render())
-        lines.append(
-            f"PBS: {len(self.pbs.running_jobs())} running, "
-            f"{len(self.pbs.queued_jobs())} queued, "
-            f"{self.pbs.free_cores()} free cores | "
-            f"WinHPC: {len(self.winhpc.running_jobs())} running, "
-            f"{len(self.winhpc.queued_jobs())} queued, "
-            f"{self.winhpc.free_cores()} free cores"
-        )
+        lines.append(" | ".join(
+            f"{p.display_name}: {len(p.running_jobs())} running, "
+            f"{len(p.queued_jobs())} queued, "
+            f"{p.free_cores()} free cores"
+            for p in self.schedulers.values()
+        ))
         lines.append(
             f"switches so far: {self.recorder.switch_count}; "
             f"admin interventions: {self.effort.count()}"

@@ -57,7 +57,8 @@ class EnergyMeter:
         self.model = model if model is not None else PowerModel()
         self.tracer = tracer
         self.accounts: Dict[str, NodeEnergyAccount] = {}
-        #: per-job {hostname: cores} snapshots, keyed ``pbs:<id>``/``win:<id>``
+        #: per-job {hostname: cores} snapshots, keyed by the personality's
+        #: record prefix (``pbs:<id>``/``win:<id>``/``slurm:<id>``)
         self._job_cores: Dict[str, Dict[str, int]] = {}
         self._finalized = False
 
@@ -75,11 +76,24 @@ class EnergyMeter:
         node.on_power_state.append(self._on_power_state)
         self._emit_state(account)
 
+    def attach_scheduler(self, personality: Any) -> None:
+        """Meter busy-core deltas from any scheduler personality.
+
+        Relies only on the uniform job surface (``key``,
+        ``allocation_by_host()``) every personality's job objects expose.
+        """
+        prefix = personality.record_key_prefix
+        personality.observers.append(
+            lambda event, job: self._job_event(prefix, event, job)
+        )
+
     def attach_pbs(self, server: Any) -> None:
-        server.observers.append(self._pbs_event)
+        """Legacy spelling of :meth:`attach_scheduler`."""
+        self.attach_scheduler(server)
 
     def attach_winhpc(self, scheduler: Any) -> None:
-        scheduler.observers.append(self._win_event)
+        """Legacy spelling of :meth:`attach_scheduler`."""
+        self.attach_scheduler(scheduler)
 
     # -- observers -----------------------------------------------------------
 
@@ -93,21 +107,10 @@ class EnergyMeter:
         account.state = new_state
         self._refresh(account)
 
-    def _pbs_event(self, event: str, job: Any) -> None:
-        key = f"pbs:{job.jobid}"
+    def _job_event(self, prefix: str, event: str, job: Any) -> None:
+        key = f"{prefix}:{job.key}"
         if event == "started":
-            cores: Dict[str, int] = {}
-            for fqdn, _core in job.exec_slots:
-                host = fqdn.split(".")[0]
-                cores[host] = cores.get(host, 0) + 1
-            self._job_started(key, cores)
-        elif event in ("finished", "requeued"):
-            self._job_released(key)
-
-    def _win_event(self, event: str, job: Any) -> None:
-        key = f"win:{job.job_id}"
-        if event == "started":
-            self._job_started(key, dict(job.allocation))
+            self._job_started(key, job.allocation_by_host())
         elif event in ("finished", "requeued"):
             self._job_released(key)
 

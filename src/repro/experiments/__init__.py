@@ -98,4 +98,5 @@ ALL_EXPERIMENTS = {
     "e10": "repro.experiments.e10_scale",
     "e11": "repro.experiments.e11_energy",
     "e14": "repro.experiments.e14_survival",
+    "e15": "repro.experiments.e15_pairing",
 }

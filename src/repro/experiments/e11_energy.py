@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.compare import HybridSystem
-from repro.core.config import MiddlewareConfig
+from repro.core.config import ElasticConfig, EnergyConfig, MiddlewareConfig
 from repro.experiments import ExperimentOutput
 from repro.metrics.report import Table
 from repro.simkernel import HOUR, MINUTE, Timeout
@@ -85,9 +85,8 @@ def _energy_run(
         config=MiddlewareConfig(
             version=2,
             check_cycle_s=10 * MINUTE,
-            energy_metering=True,
-            elastic_enabled=power_aware,
-            elastic_cycle_s=5 * MINUTE,
+            energy=EnergyConfig(metering=True),
+            elastic=ElasticConfig(enabled=power_aware, cycle_s=5 * MINUTE),
             burst_nodes=burst,
         ),
     )

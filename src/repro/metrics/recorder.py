@@ -35,7 +35,7 @@ class OsInterval:
 @dataclass
 class JobRecord:
     name: str
-    scheduler: str  # "pbs" | "winhpc"
+    scheduler: str  # personality kind: "pbs" | "winhpc" | "slurm"
     cores: int
     submit_time: float
     start_time: Optional[float] = None
@@ -96,22 +96,33 @@ class ClusterRecorder:
 
     # -- jobs -------------------------------------------------------------------
 
-    def attach_pbs(self, server) -> None:
-        server.observers.append(
-            lambda event, job: self._pbs_event(event, job)
+    def attach_scheduler(self, personality) -> None:
+        """Record job lifecycles from any scheduler personality.
+
+        Uses only the uniform surface every personality's native job
+        object exposes (``key``, ``submitted_at``, ``cores_submitted()``,
+        ``cores_running()``) — see ``repro.sched.protocol``.
+        """
+        prefix = personality.record_key_prefix
+        kind = personality.kind
+        personality.observers.append(
+            lambda event, job: self._job_event(prefix, kind, event, job)
         )
+
+    def attach_pbs(self, server) -> None:
+        """Legacy spelling of :meth:`attach_scheduler`."""
+        self.attach_scheduler(server)
 
     def attach_winhpc(self, scheduler) -> None:
-        scheduler.observers.append(
-            lambda event, job: self._win_event(event, job)
-        )
+        """Legacy spelling of :meth:`attach_scheduler`."""
+        self.attach_scheduler(scheduler)
 
-    def _pbs_event(self, event: str, job) -> None:
-        key = f"pbs:{job.jobid}"
+    def _job_event(self, prefix: str, kind: str, event: str, job) -> None:
+        key = f"{prefix}:{job.key}"
         if event == "submitted":
             record = JobRecord(
-                name=job.name, scheduler="pbs", cores=job.total_cores,
-                submit_time=job.qtime, tag=job.tag,
+                name=job.name, scheduler=kind, cores=job.cores_submitted(),
+                submit_time=job.submitted_at, tag=job.tag,
             )
             self._job_index[key] = record
             self.jobs.append(record)
@@ -121,29 +132,7 @@ class ClusterRecorder:
             record = self._job_index[key]
             if event == "started":
                 record.start_time = job.start_time
-            elif event == "finished":
-                if record.end_time is None and record.tag != "os-switch":
-                    self._outstanding_workload -= 1
-                record.end_time = job.end_time
-                record.final_state = job.state.value
-
-    def _win_event(self, event: str, job) -> None:
-        key = f"win:{job.job_id}"
-        if event == "submitted":
-            record = JobRecord(
-                name=job.name, scheduler="winhpc",
-                cores=job.total_allocated_cores() or job.amount,
-                submit_time=job.submit_time, tag=job.tag,
-            )
-            self._job_index[key] = record
-            self.jobs.append(record)
-            if record.tag != "os-switch":
-                self._outstanding_workload += 1
-        elif key in self._job_index:
-            record = self._job_index[key]
-            if event == "started":
-                record.start_time = job.start_time
-                record.cores = job.total_allocated_cores()
+                record.cores = job.cores_running()
             elif event == "finished":
                 if record.end_time is None and record.tag != "os-switch":
                     self._outstanding_workload -= 1

@@ -83,5 +83,32 @@ class PbsJob:
         """Figure-8 style: ``node16.dom/3+node16.dom/2+...``."""
         return "+".join(f"{host}/{core}" for host, core in self.exec_slots)
 
+    # -- uniform personality surface (repro.sched.protocol) ------------------
+
+    @property
+    def key(self) -> str:
+        """Scheduler-neutral job id (PBS ids are already strings)."""
+        return self.jobid
+
+    @property
+    def submitted_at(self) -> float:
+        return self.qtime
+
+    def cores_submitted(self) -> int:
+        """Core demand as known at submission time."""
+        return self.total_cores
+
+    def cores_running(self) -> int:
+        """Cores actually allocated (PBS shapes are exact)."""
+        return self.total_cores
+
+    def allocation_by_host(self) -> Dict[str, int]:
+        """Short hostname → allocated core count, placement order."""
+        cores: Dict[str, int] = {}
+        for fqdn, _ in self.exec_slots:
+            host = fqdn.split(".")[0]
+            cores[host] = cores.get(host, 0) + 1
+        return cores
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<PbsJob {self.jobid} {self.name!r} {self.state.value}>"

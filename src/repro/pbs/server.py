@@ -21,7 +21,8 @@ from repro.oslayer.shell import run_script
 from repro.pbs.job import JobState, PbsJob
 from repro.pbs.nodes import PbsNodeRecord, PbsNodeState
 from repro.pbs.scheduler import NodeIndex
-from repro.pbs.script import parse_pbs_script
+from repro.pbs.script import JobSpec, parse_pbs_script
+from repro.sched.protocol import SWITCH_TAG, JobRequest
 from repro.simkernel import Event, Interrupt, Simulator, Timeout
 
 #: Exit status TORQUE reports for jobs killed by node loss / qdel.
@@ -40,7 +41,19 @@ class MomHandle:
 
 
 class PbsServer:
-    """A TORQUE-like server for one cluster."""
+    """A TORQUE-like server for one cluster.
+
+    Implements the :class:`repro.sched.protocol.SchedulerPersonality`
+    seam (structurally) so the dual-boot control plane can drive it
+    without importing this module.
+    """
+
+    # -- personality identity (repro.sched.protocol) -------------------------
+    kind = "pbs"
+    display_name = "PBS"
+    join_event = "up"
+    record_key_prefix = "pbs"
+    default_owner = "sliang"
 
     def __init__(
         self,
@@ -427,6 +440,73 @@ class PbsServer:
             for r in self.nodes.values()
             if r.state not in (PbsNodeState.DOWN, PbsNodeState.OFFLINE)
         ]
+
+    # -- personality seam (repro.sched.protocol) -----------------------------
+
+    def submit_request(self, request: JobRequest) -> str:
+        """Scheduler-neutral submit: shape the request onto nodes:ppn."""
+        spec = JobSpec(
+            name=request.name,
+            nodes=request.nodes or 1,
+            ppn=request.ppn or request.cores,
+            runtime_s=request.runtime_s,
+            rerunnable=request.rerunnable,
+            script=request.script,
+            tag=request.tag,
+        )
+        owner = (
+            request.owner if request.owner is not None else self.default_owner
+        )
+        return self.qsub(spec, owner=owner)
+
+    def get_job(self, jobid: str) -> Optional[PbsJob]:
+        return self.jobs.get(jobid)
+
+    def node_idle(self, hostname: str) -> bool:
+        record = self.nodes.get(self.fqdn(hostname))
+        if record is None or record.busy:
+            return False
+        return record.state.value not in ("down", "offline")
+
+    def idle_node_count(self) -> int:
+        return sum(1 for r in self.up_nodes() if not r.busy)
+
+    def online_node_count(self) -> int:
+        return len(self.up_nodes())
+
+    def drain_node(self, hostname: str) -> List[str]:
+        """Cordon *hostname*; returns the jobids still running there."""
+        record = self.node(hostname)
+        running = list(record.jobs_here())
+        self.cordon_node(hostname)
+        return running
+
+    def submit_switch_job(self, script: str, owner: str) -> str:
+        """Submit an OS-release job (a ``#PBS`` script, tagged)."""
+        spec = parse_pbs_script(script)
+        spec.tag = SWITCH_TAG
+        return self.qsub(spec, owner=owner)
+
+    def pending_switch_jobs(self) -> int:
+        return sum(
+            1
+            for job in self.jobs.values()
+            if job.tag == SWITCH_TAG
+            and job.state in (JobState.QUEUED, JobState.RUNNING)
+        )
+
+    def cancel_if_queued(self, jobid: str) -> bool:
+        job = self.jobs.get(jobid)
+        if job is not None and job.state is JobState.QUEUED:
+            self.qdel(jobid)
+            return True
+        return False
+
+    def make_commands(self, default_user: str = "sliang"):
+        """The qstat/pbsnodes command facade bound to this server."""
+        from repro.pbs.commands import PbsCommands
+
+        return PbsCommands(self, default_user=default_user)
 
     # -- scheduling & execution -------------------------------------------------
 

@@ -1,0 +1,26 @@
+"""A SLURM scheduler personality.
+
+The third batch domain behind the :mod:`repro.sched` seam: a
+``slurmctld``-like controller with a partition model, priority ordering
+with EASY backfill (reusing the PBS :class:`~repro.pbs.scheduler.NodeIndex`
+free-core buckets), ``sbatch``/``squeue``/``sinfo`` text rendering and a
+text-parsing queue-state detector — usable as donor or receiver in any
+dual-boot pairing (experiment E15 runs PBS↔SLURM).
+"""
+
+from repro.slurm.commands import SlurmCommands
+from repro.slurm.controller import SlurmController
+from repro.slurm.detector import SlurmDetector
+from repro.slurm.job import SlurmJob, SlurmJobSpec, SlurmJobState
+from repro.slurm.nodestate import SlurmNodeRecord, SlurmNodeState
+
+__all__ = [
+    "SlurmCommands",
+    "SlurmController",
+    "SlurmDetector",
+    "SlurmJob",
+    "SlurmJobSpec",
+    "SlurmJobState",
+    "SlurmNodeRecord",
+    "SlurmNodeState",
+]

@@ -1,0 +1,111 @@
+"""The SLURM-side queue-state detector.
+
+Like the PBS side, SLURM is observed by **parsing rendered text**
+(``squeue`` output) rather than querying controller objects — the
+detector sees exactly what a shell tool on the head node would see.
+It produces the same :class:`~repro.core.detector.DetectorReport` wire
+message as the other two detectors, so the communicator daemons are
+personality-blind.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.detector import (
+    SWITCH_JOB_NAME,
+    DetectorReport,
+    _build_report,
+    _trace_check,
+)
+from repro.slurm.commands import SlurmCommands
+
+
+def parse_squeue(text: str) -> List[dict]:
+    """Parse ``squeue`` text into per-job attribute dicts.
+
+    Column-order parsing over the fixed layout
+    ``JOBID PARTITION NAME USER ST TIME NODES CPUS NODELIST(REASON)``
+    (job names never contain whitespace in this model).
+    """
+    jobs: List[dict] = []
+    lines = text.splitlines()
+    for line in lines[1:]:
+        parts = line.split()
+        if len(parts) < 9:
+            continue
+        jobs.append({
+            "job_id": parts[0],
+            "partition": parts[1],
+            "name": parts[2],
+            "user": parts[3],
+            "state": parts[4],
+            "time": parts[5],
+            "nodes": int(parts[6]),
+            "cpus": int(parts[7]),
+            "nodelist": parts[8],
+        })
+    return jobs
+
+
+class SlurmDetector:
+    """The ``checkqueue`` run against a SLURM personality.
+
+    ``eager`` as in :class:`~repro.core.detector.PbsDetector`; reports
+    are cached keyed on the controller's mutation epoch (the TIME column
+    squeue renders does not affect any report field, so an unchanged
+    epoch still means an identical report).
+    """
+
+    def __init__(
+        self,
+        commands: SlurmCommands,
+        eager: bool = False,
+        tracer: Optional[Any] = None,
+        node_name: Optional[str] = None,
+        side: str = "windows",
+    ) -> None:
+        self.commands = commands
+        self.eager = eager
+        self.tracer = tracer
+        self.node_name = node_name
+        #: which cluster side this detector reports for (the SLURM
+        #: personality replaces either side's scheduler)
+        self.side = side
+        #: (mutation epoch, report) of the last check — see PbsDetector.
+        self._cache: Optional[Tuple[int, DetectorReport]] = None
+
+    def invalidate(self) -> None:
+        """Drop the cached report (benchmarks use this to time cold checks)."""
+        self._cache = None
+
+    def check(self) -> DetectorReport:
+        """One detector run over the current ``squeue`` output.
+
+        Epoch-cached like the other detectors; the ``detector.check``
+        trace event is emitted on every call either way.
+        """
+        epoch = self.commands.controller.mutation_epoch
+        cached = self._cache
+        if cached is not None and cached[0] == epoch:
+            report = cached[1]
+            _trace_check(self, self.side, report)
+            return report
+        jobs = parse_squeue(self.commands.squeue())
+        workload = [j for j in jobs if j["name"] != SWITCH_JOB_NAME]
+        running = [j for j in workload if j["state"] == "R"]
+        queued = [j for j in workload if j["state"] == "PD"]
+        report = _build_report(
+            eager=self.eager,
+            running=len(running),
+            queued=len(queued),
+            first_queued=(
+                (queued[0]["job_id"], queued[0]["cpus"]) if queued else None
+            ),
+            running_detail=[
+                f"{j['job_id']} {j['name']} Running" for j in running
+            ],
+        )
+        self._cache = (epoch, report)
+        _trace_check(self, self.side, report)
+        return report

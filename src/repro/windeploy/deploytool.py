@@ -18,7 +18,7 @@ by diffing disk state, not scripted:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.errors import DeploymentError, StorageError
 from repro.boot.chain import LINUX_ROOT_MARKER
@@ -29,7 +29,6 @@ from repro.oslayer.windows import install_windows
 from repro.storage.disk import Disk
 from repro.storage.diskpart import DiskpartInterpreter
 from repro.storage.partition import FsType
-from repro.winhpc.scheduler import WinHpcScheduler
 from repro.windeploy.installshare import InstallShare
 
 
@@ -57,7 +56,7 @@ class WindowsDeployTool:
     """Deployment service bound to one head node + scheduler."""
 
     def __init__(
-        self, share: InstallShare, scheduler: WinHpcScheduler
+        self, share: InstallShare, scheduler: Any
     ) -> None:
         self.share = share
         self.scheduler = scheduler

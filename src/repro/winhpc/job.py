@@ -93,5 +93,29 @@ class WinHpcJob:
     def total_allocated_cores(self) -> int:
         return sum(self.allocation.values())
 
+    # -- uniform personality surface (repro.sched.protocol) ------------------
+
+    @property
+    def key(self) -> str:
+        """Scheduler-neutral job id (integer ids render with ``str``)."""
+        return str(self.job_id)
+
+    @property
+    def submitted_at(self) -> float:
+        return self.submit_time
+
+    def cores_submitted(self) -> int:
+        """Core demand as known at submission time (allocation is empty
+        then, so this falls back to the requested amount)."""
+        return self.total_allocated_cores() or self.amount
+
+    def cores_running(self) -> int:
+        """Cores actually allocated (NODE-unit jobs learn this late)."""
+        return self.total_allocated_cores()
+
+    def allocation_by_host(self) -> Dict[str, int]:
+        """Hostname → allocated core count, placement order."""
+        return dict(self.allocation)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<WinHpcJob {self.job_id} {self.name!r} {self.state.value}>"

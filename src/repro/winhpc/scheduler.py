@@ -12,13 +12,32 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import SchedulerError
 from repro.oslayer.shell import run_script
+from repro.sched.protocol import SWITCH_TAG, JobRequest
 from repro.simkernel import Event, Interrupt, Simulator, Timeout
-from repro.winhpc.job import WinHpcJob, WinJobSpec, WinJobState, WinJobUnit
+from repro.winhpc.job import (
+    PRIORITY_NORMAL,
+    WinHpcJob,
+    WinJobSpec,
+    WinJobState,
+    WinJobUnit,
+)
 from repro.winhpc.nodestate import WinNodeRecord, WinNodeState
 
 
 class WinHpcScheduler:
-    """Job queue + node table on the Windows head node."""
+    """Job queue + node table on the Windows head node.
+
+    Implements the :class:`repro.sched.protocol.SchedulerPersonality`
+    seam (structurally) so the dual-boot control plane can drive it
+    without importing this module.
+    """
+
+    # -- personality identity (repro.sched.protocol) -------------------------
+    kind = "winhpc"
+    display_name = "WinHPC"
+    join_event = "online"
+    record_key_prefix = "win"
+    default_owner = "HPCUser"
 
     def __init__(self, sim: Simulator, head_name: str = "winhead") -> None:
         self.sim = sim
@@ -344,6 +363,88 @@ class WinHpcScheduler:
 
     def free_cores(self) -> int:
         return sum(r.available_cores for r in self.nodes.values())
+
+    # -- personality seam (repro.sched.protocol) -----------------------------
+
+    def submit_request(self, request: JobRequest) -> str:
+        """Scheduler-neutral submit: shape the request onto a unit."""
+        if request.nodes > 0:
+            unit, amount = WinJobUnit.NODE, request.nodes
+        else:
+            unit, amount = WinJobUnit.CORE, request.cores
+        spec = WinJobSpec(
+            name=request.name,
+            unit=unit,
+            amount=amount,
+            runtime_s=request.runtime_s,
+            script=request.script,
+            tag=request.tag,
+            priority=(
+                request.priority
+                if request.priority is not None
+                else PRIORITY_NORMAL
+            ),
+            rerunnable=request.rerunnable,
+        )
+        owner = (
+            request.owner if request.owner is not None else self.default_owner
+        )
+        return str(self.submit(spec, owner=owner).job_id)
+
+    def get_job(self, jobid: str) -> Optional[WinHpcJob]:
+        try:
+            return self.jobs.get(int(jobid))
+        except ValueError:
+            return None
+
+    def node_idle(self, hostname: str) -> bool:
+        record = self.nodes.get(hostname)
+        return record is not None and record.idle
+
+    # reprolint: disable=TRC002 -- read-only query; reaches the memoised _online_cache rebuild through idle_nodes()
+    def idle_node_count(self) -> int:
+        return len(self.idle_nodes())
+
+    # reprolint: disable=TRC002 -- read-only query; reaches the memoised _online_cache rebuild through online_nodes()
+    def online_node_count(self) -> int:
+        return len(self.online_nodes())
+
+    def drain_node(self, hostname: str) -> List[str]:
+        """Cordon *hostname*; returns the job ids still running there."""
+        record = self.node(hostname)
+        running = [str(job_id) for job_id in record.allocations]
+        self.cordon_node(hostname)
+        return running
+
+    def submit_switch_job(self, script: str, owner: str) -> str:
+        """Submit an OS-release job: one whole node, not rerunnable."""
+        job = self.submit(
+            WinJobSpec(
+                name="release_1_node",
+                unit=WinJobUnit.NODE,
+                amount=1,
+                script=script,
+                tag=SWITCH_TAG,
+                rerunnable=False,
+            ),
+            owner=owner,
+        )
+        return str(job.job_id)
+
+    def pending_switch_jobs(self) -> int:
+        return sum(
+            1
+            for job in self.jobs.values()
+            if job.tag == SWITCH_TAG
+            and job.state in (WinJobState.QUEUED, WinJobState.RUNNING)
+        )
+
+    def cancel_if_queued(self, jobid: str) -> bool:
+        job = self.get_job(jobid)
+        if job is not None and job.state is WinJobState.QUEUED:
+            self.cancel(job.job_id)
+            return True
+        return False
 
     # -- scheduling -----------------------------------------------------------
 

@@ -1,0 +1,17 @@
+"""API002 positive fixture: control plane importing personalities.
+
+Linted as ``repro.core.middleware``, where the layering rule is an
+error: every concrete scheduler import below re-couples the control
+plane to one personality.
+"""
+
+import repro.pbs
+import repro.winhpc.scheduler
+from repro.pbs.server import PbsServer
+from repro.slurm.controller import SlurmController
+
+
+def deploy(sim):
+    linux = PbsServer(sim)
+    windows = SlurmController(sim)
+    return linux, windows, repro.pbs, repro.winhpc.scheduler

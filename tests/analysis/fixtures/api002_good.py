@@ -1,0 +1,14 @@
+"""API002 negative fixture: the control plane speaks repro.sched.
+
+The concrete personalities are reachable only through the factories;
+the module never names repro.pbs / repro.winhpc / repro.slurm.
+"""
+
+from repro.sched import create_detector, create_scheduler
+
+
+def deploy(sim, windows_kind):
+    linux = create_scheduler("pbs", sim, head_name="head.cluster")
+    windows = create_scheduler(windows_kind, sim, head_name="whead.cluster")
+    detectors = [create_detector(p) for p in (linux, windows)]
+    return linux, windows, detectors

@@ -32,6 +32,7 @@ EXPECTED = {
     "DET005": {"DET005"},
     "TRC001": {"TRC001"},
     "API001": {"API001"},
+    "API002": {"API002"},
     "SUP001": {"SUP001"},
     "SUP002": {"SUP002"},
     "PERF001": {"PERF001"},
@@ -42,6 +43,7 @@ EXPECTED = {
 #: fixtures must lint *as* a module where the rule is active.
 MODULE_FOR = {
     "perf001": "repro.core.detector",
+    "api002": "repro.core.middleware",
 }
 
 

@@ -1,0 +1,113 @@
+"""Nested config groups and their deprecated flat spellings.
+
+The elasticity/energy/trace knobs moved into nested dataclasses
+(:class:`ElasticConfig`, :class:`EnergyConfig`, :class:`TraceConfig`).
+The historical flat constructor keywords and attribute reads must keep
+working — warning, not breaking — until the announced removal.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.config import (
+    ElasticConfig,
+    EnergyConfig,
+    MiddlewareConfig,
+    TraceConfig,
+)
+from repro.errors import ConfigurationError
+
+
+def test_nested_groups_are_the_canonical_spelling():
+    config = MiddlewareConfig(
+        elastic=ElasticConfig(enabled=True, cycle_s=120.0, max_actions=4),
+        energy=EnergyConfig(metering=False),
+        trace=TraceConfig(mode="counts"),
+    )
+    assert config.elastic.enabled is True
+    assert config.elastic.cycle_s == 120.0
+    assert config.elastic.max_actions == 4
+    assert config.energy.metering is False
+    assert config.trace.mode == "counts"
+
+
+def test_flat_keywords_map_onto_the_groups_with_a_warning():
+    with pytest.warns(DeprecationWarning, match="elastic_enabled"):
+        config = MiddlewareConfig(
+            elastic_enabled=True,
+            elastic_cycle_s=60.0,
+            energy_metering=False,
+            trace_mode="off",
+        )
+    assert config.elastic.enabled is True
+    assert config.elastic.cycle_s == 60.0
+    assert config.energy.metering is False
+    assert config.trace.mode == "off"
+    # untouched group fields keep their defaults
+    assert config.elastic.hysteresis_cycles == 2
+    assert config.elastic.min_online == 1
+
+
+def test_flat_keywords_overlay_an_explicit_group():
+    with pytest.warns(DeprecationWarning):
+        config = MiddlewareConfig(
+            elastic=ElasticConfig(min_online=3),
+            elastic_enabled=True,
+        )
+    assert config.elastic.enabled is True
+    assert config.elastic.min_online == 3
+
+
+def test_alias_properties_read_through_to_the_groups():
+    config = MiddlewareConfig(
+        elastic=ElasticConfig(
+            enabled=True, cycle_s=90.0, hysteresis_cycles=3,
+            min_online=2, idle_surplus=0, max_actions=5,
+        ),
+        energy=EnergyConfig(metering=False),
+        trace=TraceConfig(mode="counts"),
+    )
+    assert config.elastic_enabled is config.elastic.enabled
+    assert config.elastic_cycle_s == 90.0
+    assert config.elastic_hysteresis_cycles == 3
+    assert config.elastic_min_online == 2
+    assert config.elastic_idle_surplus == 0
+    assert config.elastic_max_actions == 5
+    assert config.energy_metering is False
+    assert config.trace_mode == "counts"
+
+
+def test_nested_spelling_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        MiddlewareConfig(elastic=ElasticConfig(enabled=True))
+
+
+def test_group_validation_runs_for_flat_and_nested_spellings():
+    with pytest.raises(ConfigurationError):
+        ElasticConfig(cycle_s=0.0)
+    with pytest.raises(ConfigurationError):
+        ElasticConfig(hysteresis_cycles=0)
+    with pytest.raises(ConfigurationError):
+        TraceConfig(mode="everything")
+    with pytest.raises(ConfigurationError), warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        MiddlewareConfig(elastic_cycle_s=-1.0)
+    with pytest.raises(ConfigurationError), warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        MiddlewareConfig(trace_mode="everything")
+
+
+def test_windows_scheduler_is_validated():
+    assert MiddlewareConfig().windows_scheduler == "winhpc"
+    assert MiddlewareConfig(windows_scheduler="slurm").windows_scheduler == (
+        "slurm"
+    )
+    with pytest.raises(ConfigurationError, match="windows_scheduler"):
+        MiddlewareConfig(windows_scheduler="lsf")
+
+
+def test_unknown_keywords_still_fail_loudly():
+    with pytest.raises(TypeError):
+        MiddlewareConfig(elastic_typo=True)

@@ -58,6 +58,17 @@ class _PbsJob:
         self.jobid = jobid
         self.exec_slots = exec_slots
 
+    @property
+    def key(self):
+        return self.jobid
+
+    def allocation_by_host(self):
+        cores = {}
+        for fqdn, _core in self.exec_slots:
+            host = fqdn.split(".")[0]
+            cores[host] = cores.get(host, 0) + 1
+        return cores
+
 
 def test_boot_idle_suspend_resume_closed_form():
     sim, node, meter, _ = make_rig()
@@ -117,12 +128,12 @@ def test_busy_core_accounting_uses_started_snapshot():
     baseline = meter.total_joules()
 
     job = _PbsJob("7.ehead", [("enode01.cluster", 0), ("enode01.cluster", 1)])
-    meter._pbs_event("started", job)
+    meter._job_event("pbs", "started", job)
     sim.run(until=COLD_BOOT_S + 50.0)            # 50 s at 70 + 2×22 W
     # the scheduler wipes exec_slots before observers hear "requeued" —
     # the meter must release the cores from its own snapshot anyway
     job.exec_slots = []
-    meter._pbs_event("requeued", job)
+    meter._job_event("pbs", "requeued", job)
     sim.run(until=COLD_BOOT_S + 100.0)           # 50 s back at idle
 
     model = meter.model
@@ -132,7 +143,7 @@ def test_busy_core_accounting_uses_started_snapshot():
     account = meter.accounts["enode01"]
     assert account.busy_cores == 0
     # releasing an unknown job must not push the count negative
-    meter._pbs_event("finished", job)
+    meter._job_event("pbs", "finished", job)
     assert account.busy_cores == 0
 
 

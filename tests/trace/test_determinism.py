@@ -18,7 +18,7 @@ from repro.trace import check_events
 
 SEED = 3
 
-# the simulation experiments (e1..e11, e14); the figure/table
+# the simulation experiments (e1..e11, e14, e15); the figure/table
 # reproductions in the registry are pure artefact generators and attach
 # no traces
 SIMULATION_EXPERIMENTS = sorted(
@@ -33,7 +33,7 @@ def _run(experiment_id):
 
 def test_battery_covers_all_simulation_experiments():
     assert SIMULATION_EXPERIMENTS == sorted(
-        [f"e{i}" for i in range(1, 12)] + ["e14"]
+        [f"e{i}" for i in range(1, 12)] + ["e14", "e15"]
     )
 
 
@@ -50,7 +50,7 @@ def test_battery_covers_all_simulation_experiments():
 
 def _cross_mode_run(trace_mode):
     from repro.compare import HybridSystem, run_scenario
-    from repro.core.config import MiddlewareConfig
+    from repro.core.config import MiddlewareConfig, TraceConfig
     from repro.simkernel import HOUR, MINUTE
     from repro.workloads import MixedWorkload
 
@@ -58,7 +58,8 @@ def _cross_mode_run(trace_mode):
     system = HybridSystem(
         num_nodes=8, seed=SEED, version=2,
         config=MiddlewareConfig(
-            version=2, check_cycle_s=10 * MINUTE, trace_mode=trace_mode
+            version=2, check_cycle_s=10 * MINUTE,
+            trace=TraceConfig(mode=trace_mode),
         ),
     )
     jobs = MixedWorkload(
